@@ -1,0 +1,82 @@
+// Command mesaasm assembles and disassembles RV32IMF code using the
+// reproduction's ISA substrate.
+//
+// Usage:
+//
+//	mesaasm [-base addr] <file.s>         # assemble, print addr/word/asm
+//	echo "add x5, x6, x7" | mesaasm -     # assemble stdin
+//	mesaasm -d 0x007302b3 0x00a28293      # disassemble machine words
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"mesa/internal/asm"
+	"mesa/internal/isa"
+)
+
+func main() {
+	base := flag.Uint64("base", 0x1000, "base address for assembly")
+	disasm := flag.Bool("d", false, "disassemble hex words given as arguments")
+	flag.Parse()
+
+	if *disasm {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "mesaasm: -d requires hex words")
+			os.Exit(2)
+		}
+		for _, arg := range flag.Args() {
+			word, err := strconv.ParseUint(arg, 0, 32)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mesaasm: bad word %q: %v\n", arg, err)
+				os.Exit(1)
+			}
+			in, err := isa.Decode(uint32(word))
+			if err != nil {
+				fmt.Printf("%08x  <unknown: %v>\n", word, err)
+				continue
+			}
+			fmt.Printf("%08x  %s\n", word, in)
+		}
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mesaasm [-base addr] <file.s | ->   or   mesaasm -d <words...>")
+		os.Exit(2)
+	}
+	var src []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mesaasm:", err)
+		os.Exit(1)
+	}
+	prog, err := asm.Assemble(uint32(*base), string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mesaasm:", err)
+		os.Exit(1)
+	}
+	for _, in := range prog.Insts {
+		word, err := isa.Encode(in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mesaasm: cannot encode %v: %v\n", in, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%08x:  %08x  %s\n", in.Addr, word, in)
+	}
+	if len(prog.Symbols) > 0 {
+		fmt.Println("\nsymbols:")
+		for name, addr := range prog.Symbols {
+			fmt.Printf("  %-16s %08x\n", name, addr)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Command mesabench regenerates every table and figure of the paper's
+// evaluation section and prints them to stdout.
+//
+// Usage:
+//
+//	mesabench            # run everything
+//	mesabench fig11      # run one experiment: fig2, fig8, fig11..fig16, table1, table2
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+type experiment struct {
+	name string
+	run  func() (string, error)
+	data func() (any, error) // structured result for -json
+}
+
+var all = []experiment{
+	{"table1", renderTable1, dataTable1},
+	{"fig2", renderFigure2, dataFigure2},
+	{"fig4", renderFigure4, dataFigure4},
+	{"fig8", renderFigure8, dataFigure8},
+	{"table2", renderTable2, dataTable2},
+	{"fig11", renderFigure11, dataFigure11},
+	{"fig12", renderFigure12, dataFigure12},
+	{"fig13", renderFigure13, dataFigure13},
+	{"fig14", renderFigure14, dataFigure14},
+	{"fig15", renderFigure15, dataFigure15},
+	{"fig16", renderFigure16, dataFigure16},
+	{"ablations", renderAblations, dataAblations},
+}
+
+func main() {
+	asJSON := false
+	selected := map[string]bool{}
+	for _, arg := range os.Args[1:] {
+		if arg == "-json" || arg == "--json" {
+			asJSON = true
+			continue
+		}
+		selected[strings.ToLower(arg)] = true
+	}
+	known := map[string]bool{}
+	for _, e := range all {
+		known[e.name] = true
+	}
+	for name := range selected {
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "mesabench: unknown experiment %q\n", name)
+			fmt.Fprintf(os.Stderr, "available:")
+			for _, e := range all {
+				fmt.Fprintf(os.Stderr, " %s", e.name)
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(2)
+		}
+	}
+
+	if asJSON {
+		results := map[string]any{}
+		for _, e := range all {
+			if len(selected) > 0 && !selected[e.name] {
+				continue
+			}
+			v, err := e.data()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mesabench: %s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+			results[e.name] = v
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "mesabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	for _, e := range all {
+		if len(selected) > 0 && !selected[e.name] {
+			continue
+		}
+		start := time.Now()
+		out, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mesabench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%.2fs) ====\n%s\n", e.name, time.Since(start).Seconds(), out)
+	}
+}

@@ -1,0 +1,97 @@
+// Custom interconnect: retarget MESA to a backend it has never seen.
+//
+// MESA is backend-agnostic by design (the paper's §3.3): the mapper needs
+// only an operation-capability mask (F_op) and a function giving the
+// point-to-point transfer latency between two PE coordinates. This example
+// defines a 2D *torus* interconnect — wrap-around links in both dimensions,
+// which none of the built-in models provide — plugs it into an accelerator
+// configuration, and compares the resulting mapping quality against the
+// paper's half-ring NoC and a plain mesh on the same kernel.
+//
+// Run with: go run ./examples/custom_interconnect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mesa/internal/accel"
+	"mesa/internal/core"
+	"mesa/internal/kernels"
+	"mesa/internal/noc"
+)
+
+// Torus is a mesh with wrap-around links: the hop distance in each dimension
+// is the minimum of going straight or wrapping around.
+type Torus struct {
+	Rows, Cols int
+}
+
+// Name implements noc.Interconnect.
+func (t Torus) Name() string { return "torus" }
+
+// Latency implements noc.Interconnect.
+func (t Torus) Latency(a, b noc.Coord) int {
+	dr := wrapDist(a.Row, b.Row, t.Rows)
+	dc := wrapDist(a.Col, b.Col, t.Cols)
+	return dr + dc
+}
+
+func wrapDist(x, y, size int) int {
+	d := x - y
+	if d < 0 {
+		d = -d
+	}
+	// Edge (load/store) columns sit outside the wrapped region; fall back
+	// to straight distance for them.
+	if x < 0 || y < 0 || x >= size || y >= size {
+		return d
+	}
+	if w := size - d; w < d {
+		return w
+	}
+	return d
+}
+
+func main() {
+	k, err := kernels.ByName("kmeans")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, loopStart := k.Program()
+	var end uint32
+	for _, in := range prog.Insts {
+		if in.IsBackwardBranch() && in.BranchTarget() == loopStart {
+			end = in.Addr + 4
+		}
+	}
+
+	interconnects := []noc.Interconnect{
+		noc.DefaultHalfRing(),
+		noc.Mesh{},
+		Torus{Rows: 16, Cols: 8},
+	}
+
+	fmt.Printf("mapping the %q loop body onto M-128 with three interconnects:\n\n", k.Name)
+	fmt.Printf("%-10s %22s %18s\n", "network", "modeled iter latency", "critical path len")
+	for _, ic := range interconnects {
+		be := accel.M128()
+		be.Interconnect = ic
+
+		ldfg, err := core.BuildLDFG(prog.Slice(loopStart, end), be.EstimateLat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sdfg, stats, err := core.NewMapper(core.DefaultMapperOptions()).Map(ldfg, be)
+		if err != nil {
+			log.Fatalf("%s: %v", ic.Name(), err)
+		}
+		ev := sdfg.Evaluate()
+		fmt.Printf("%-10s %19.1f c %18d   (bus fallbacks %d)\n",
+			ic.Name(), ev.Total, len(ev.CriticalPath()), stats.BusFallbacks)
+	}
+
+	fmt.Println("\nThe same Algorithm 1 hardware produced all three mappings; only the")
+	fmt.Println("latency function l(C) changed — the property that lets MESA target")
+	fmt.Println("different spatial accelerator variants without redesign.")
+}

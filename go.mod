@@ -1,0 +1,3 @@
+module mesa
+
+go 1.22

@@ -1,0 +1,396 @@
+package accel
+
+import (
+	"testing"
+
+	"mesa/internal/alu"
+	"mesa/internal/dfg"
+	"mesa/internal/isa"
+	"mesa/internal/mem"
+	"mesa/internal/noc"
+)
+
+func newNode(in isa.Inst, lat float64) dfg.Node {
+	return dfg.Node{
+		Inst:       in,
+		OpLat:      lat,
+		Src:        [3]dfg.NodeID{dfg.None, dfg.None, dfg.None},
+		LiveIn:     [3]isa.Reg{isa.RegNone, isa.RegNone, isa.RegNone},
+		MemDep:     dfg.None,
+		PredDep:    dfg.None,
+		PredLiveIn: isa.RegNone,
+		CtrlDep:    dfg.None,
+	}
+}
+
+// rowPlacement places nodes left-to-right along row 0, memory ops on edges.
+func rowPlacement(cfg *Config, g *dfg.Graph) []noc.Coord {
+	pos := make([]noc.Coord, g.Len())
+	col := 0
+	edgeRow := 0
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.Inst.IsMem() && !n.Fwd {
+			pos[i] = noc.Coord{Row: edgeRow, Col: -1}
+			edgeRow++
+		} else {
+			pos[i] = noc.Coord{Row: 0, Col: col % cfg.Cols}
+			col++
+		}
+	}
+	return pos
+}
+
+func TestConfigGeometry(t *testing.T) {
+	for _, cfg := range []*Config{M64(), M128(), M512()} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+	}
+	c := M128()
+	if c.NumPEs() != 128 || c.Rows != 16 || c.Cols != 8 {
+		t.Errorf("M-128 geometry wrong: %d PEs %dx%d", c.NumPEs(), c.Rows, c.Cols)
+	}
+	if M512().NumPEs() != 512 || M64().NumPEs() != 64 {
+		t.Error("M-512/M-64 PE counts wrong")
+	}
+	// Half the PEs are FP-capable.
+	fp := 0
+	for r := 0; r < c.Rows; r++ {
+		for col := 0; col < c.Cols; col++ {
+			if c.HasFP(noc.Coord{Row: r, Col: col}) {
+				fp++
+			}
+		}
+	}
+	if fp != 64 {
+		t.Errorf("FP PEs = %d, want 64 (half)", fp)
+	}
+	// Edge slots support only memory classes.
+	edge := noc.Coord{Row: 3, Col: -1}
+	if !c.Supports(edge, isa.ClassLoad) || c.Supports(edge, isa.ClassALU) {
+		t.Error("edge capability mask wrong")
+	}
+	inner := noc.Coord{Row: 3, Col: 3}
+	if c.Supports(inner, isa.ClassLoad) || !c.Supports(inner, isa.ClassALU) {
+		t.Error("PE capability mask wrong")
+	}
+	if got := len(c.EdgeColumns()); got != 4 {
+		t.Errorf("edge columns = %d, want 4", got)
+	}
+	if c.LSUEntries() != 64 {
+		t.Errorf("LSU entries = %d", c.LSUEntries())
+	}
+}
+
+func TestWithPEs(t *testing.T) {
+	for _, n := range []int{16, 32, 64, 128, 256, 512} {
+		cfg := WithPEs(n)
+		if cfg.NumPEs() != n {
+			t.Errorf("WithPEs(%d) gives %d PEs", n, cfg.NumPEs())
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("WithPEs(%d): %v", n, err)
+		}
+	}
+}
+
+// TestEngineSimpleDataflow executes a tiny add chain and checks both the
+// computed value and the latency accounting.
+func TestEngineSimpleDataflow(t *testing.T) {
+	g := dfg.NewGraph()
+	// n0: x5 = x6 + x7 (live-ins); n1: x8 = x5 + x5
+	n0 := newNode(isa.Inst{Op: isa.OpADD, Rd: isa.X5, Rs1: isa.X6, Rs2: isa.X7, Rs3: isa.RegNone}, 1)
+	n0.LiveIn[0], n0.LiveIn[1] = isa.X6, isa.X7
+	id0 := g.Add(n0)
+	n1 := newNode(isa.Inst{Op: isa.OpADD, Rd: isa.X8, Rs1: isa.X5, Rs2: isa.X5, Rs3: isa.RegNone}, 1)
+	n1.Src[0], n1.Src[1] = id0, id0
+	id1 := g.Add(n1)
+	g.LiveOut[isa.X5] = id0
+	g.LiveOut[isa.X8] = id1
+
+	cfg := M128()
+	memory := mem.NewMemory()
+	hier := mem.MustHierarchy(mem.DefaultHierarchy())
+	pos := []noc.Coord{{Row: 0, Col: 0}, {Row: 0, Col: 1}}
+	e, err := NewEngine(cfg, g, pos, dfg.None, memory, hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regs [isa.NumRegs]uint32
+	regs[isa.X6], regs[isa.X7] = 30, 12
+	res, err := e.RunIteration(&regs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs[isa.X5] != 42 || regs[isa.X8] != 84 {
+		t.Errorf("results: x5=%d x8=%d", regs[isa.X5], regs[isa.X8])
+	}
+	// Timing: live-in (1) + add (1) = 2 for n0; +1 transfer +1 add = 4.
+	if res.Cycles != 4 {
+		t.Errorf("iteration cycles = %v, want 4", res.Cycles)
+	}
+	if res.Continue {
+		t.Error("no loop branch: should not continue")
+	}
+}
+
+// TestEngineLoadStoreAndForwarding checks memory semantics including the
+// runtime store-to-load forwarding path.
+func TestEngineLoadStoreAndForwarding(t *testing.T) {
+	g := dfg.NewGraph()
+	// n0: lw x5, 0(x10); n1: sw x5, 4(x10); n2: lw x6, 4(x10) [fwd at runtime]
+	ld := newNode(isa.Inst{Op: isa.OpLW, Rd: isa.X5, Rs1: isa.X10, Rs2: isa.RegNone, Rs3: isa.RegNone}, 3)
+	ld.LiveIn[0] = isa.X10
+	id0 := g.Add(ld)
+	st := newNode(isa.Inst{Op: isa.OpSW, Rd: isa.RegNone, Rs1: isa.X10, Rs2: isa.X5, Rs3: isa.RegNone, Imm: 4}, 1)
+	st.LiveIn[0] = isa.X10
+	st.Src[1] = id0
+	g.Add(st)
+	ld2 := newNode(isa.Inst{Op: isa.OpLW, Rd: isa.X6, Rs1: isa.X10, Rs2: isa.RegNone, Rs3: isa.RegNone, Imm: 4}, 3)
+	ld2.LiveIn[0] = isa.X10
+	id2 := g.Add(ld2)
+	g.LiveOut[isa.X5] = id0
+	g.LiveOut[isa.X6] = id2
+
+	cfg := M128()
+	memory := mem.NewMemory()
+	memory.StoreWord(0x1000, 77)
+	hier := mem.MustHierarchy(mem.DefaultHierarchy())
+	pos := []noc.Coord{{Row: 0, Col: -1}, {Row: 1, Col: -1}, {Row: 2, Col: -1}}
+	e, err := NewEngine(cfg, g, pos, dfg.None, memory, hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regs [isa.NumRegs]uint32
+	regs[isa.X10] = 0x1000
+	if _, err := e.RunIteration(&regs); err != nil {
+		t.Fatal(err)
+	}
+	if regs[isa.X5] != 77 || regs[isa.X6] != 77 {
+		t.Errorf("x5=%d x6=%d, want 77/77", regs[isa.X5], regs[isa.X6])
+	}
+	if memory.LoadWord(0x1004) != 77 {
+		t.Error("store not committed")
+	}
+	c := e.Counters()
+	if c.Forwarded != 1 {
+		t.Errorf("runtime forwards = %d, want 1", c.Forwarded)
+	}
+}
+
+// TestEnginePredication checks disabled PEs forward the old register value.
+func TestEnginePredication(t *testing.T) {
+	build := func(x6 uint32) uint32 {
+		g := dfg.NewGraph()
+		// n0: x5 = x7 + 1 ; n1: beq x6, x0 -> shadow n2
+		// n2 (shadowed): x5 = x5 + 10 ; n3: x8 = x5 + 0
+		n0 := newNode(isa.Inst{Op: isa.OpADDI, Rd: isa.X5, Rs1: isa.X7, Rs2: isa.RegNone, Rs3: isa.RegNone, Imm: 1}, 1)
+		n0.LiveIn[0] = isa.X7
+		id0 := g.Add(n0)
+		br := newNode(isa.Inst{Op: isa.OpBEQ, Rd: isa.RegNone, Rs1: isa.X6, Rs2: isa.X0, Rs3: isa.RegNone, Imm: 8}, 1)
+		br.LiveIn[0] = isa.X6
+		id1 := g.Add(br)
+		sh := newNode(isa.Inst{Op: isa.OpADDI, Rd: isa.X5, Rs1: isa.X5, Rs2: isa.RegNone, Rs3: isa.RegNone, Imm: 10}, 1)
+		sh.Src[0] = id0
+		sh.CtrlDep = id1
+		sh.PredDep = id0
+		id2 := g.Add(sh)
+		fin := newNode(isa.Inst{Op: isa.OpADDI, Rd: isa.X8, Rs1: isa.X5, Rs2: isa.RegNone, Rs3: isa.RegNone}, 1)
+		fin.Src[0] = id2
+		id3 := g.Add(fin)
+		g.LiveOut[isa.X5] = id2
+		g.LiveOut[isa.X8] = id3
+
+		cfg := M128()
+		hier := mem.MustHierarchy(mem.DefaultHierarchy())
+		pos := []noc.Coord{{Row: 0, Col: 0}, {Row: 0, Col: 1}, {Row: 1, Col: 0}, {Row: 1, Col: 1}}
+		e, err := NewEngine(cfg, g, pos, dfg.None, mem.NewMemory(), hier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var regs [isa.NumRegs]uint32
+		regs[isa.X6] = x6
+		regs[isa.X7] = 100
+		if _, err := e.RunIteration(&regs); err != nil {
+			t.Fatal(err)
+		}
+		return regs[isa.X8]
+	}
+	// Branch not taken (x6 != 0): shadowed addi executes -> 111.
+	if got := build(5); got != 111 {
+		t.Errorf("not-taken path: x8 = %d, want 111", got)
+	}
+	// Branch taken (x6 == 0): shadowed addi disabled, forwards old x5=101.
+	if got := build(0); got != 101 {
+		t.Errorf("taken path: x8 = %d, want 101", got)
+	}
+}
+
+// TestEngineLoopExecution runs a counted accumulation loop.
+func TestEngineLoopExecution(t *testing.T) {
+	g := dfg.NewGraph()
+	// n0: x5 = x5 + x6 (acc); n1: x6 = x6 + 1; n2: blt x6, x7, loop
+	acc := newNode(isa.Inst{Op: isa.OpADD, Rd: isa.X5, Rs1: isa.X5, Rs2: isa.X6, Rs3: isa.RegNone}, 1)
+	acc.LiveIn[0], acc.LiveIn[1] = isa.X5, isa.X6
+	id0 := g.Add(acc)
+	ind := newNode(isa.Inst{Op: isa.OpADDI, Rd: isa.X6, Rs1: isa.X6, Rs2: isa.RegNone, Rs3: isa.RegNone, Imm: 1}, 1)
+	ind.LiveIn[0] = isa.X6
+	id1 := g.Add(ind)
+	br := newNode(isa.Inst{Op: isa.OpBLT, Rd: isa.RegNone, Rs1: isa.X6, Rs2: isa.X7, Rs3: isa.RegNone, Imm: -8}, 1)
+	br.Src[0] = id1
+	br.LiveIn[1] = isa.X7
+	id2 := g.Add(br)
+	g.LiveOut[isa.X5] = id0
+	g.LiveOut[isa.X6] = id1
+
+	cfg := M128()
+	hier := mem.MustHierarchy(mem.DefaultHierarchy())
+	pos := []noc.Coord{{Row: 0, Col: 0}, {Row: 0, Col: 1}, {Row: 1, Col: 1}}
+	e, err := NewEngine(cfg, g, pos, id2, mem.NewMemory(), hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regs [isa.NumRegs]uint32
+	regs[isa.X7] = 10
+	res, err := e.RunLoop(&regs, LoopOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || res.Iterations != 10 {
+		t.Fatalf("iterations = %d done=%v, want 10/true", res.Iterations, res.Done)
+	}
+	if regs[isa.X5] != 45 {
+		t.Errorf("sum = %d, want 45", regs[isa.X5])
+	}
+	if res.SerialCycles != res.TotalCycles {
+		t.Error("serial mode should not overlap iterations")
+	}
+
+	// MaxIterations cap.
+	var regs2 [isa.NumRegs]uint32
+	regs2[isa.X7] = 10
+	e2, _ := NewEngine(cfg, g, pos, id2, mem.NewMemory(), hier)
+	res2, err := e2.RunLoop(&regs2, LoopOptions{MaxIterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Done || res2.Iterations != 4 {
+		t.Errorf("capped run: %d iterations done=%v", res2.Iterations, res2.Done)
+	}
+}
+
+// TestEnginePipelinedFasterThanSerial checks the initiation-interval model.
+func TestEnginePipelinedFasterThanSerial(t *testing.T) {
+	g := dfg.NewGraph()
+	ind := newNode(isa.Inst{Op: isa.OpADDI, Rd: isa.X6, Rs1: isa.X6, Rs2: isa.RegNone, Rs3: isa.RegNone, Imm: 1}, 1)
+	ind.LiveIn[0] = isa.X6
+	id0 := g.Add(ind)
+	// A long dependent chain to inflate per-iteration latency.
+	prev := id0
+	for i := 0; i < 8; i++ {
+		n := newNode(isa.Inst{Op: isa.OpADD, Rd: isa.X8, Rs1: isa.X8, Rs2: isa.X6, Rs3: isa.RegNone}, 1)
+		n.Src[1] = prev
+		n.LiveIn[0] = isa.X8
+		prev = g.Add(n)
+	}
+	br := newNode(isa.Inst{Op: isa.OpBLT, Rd: isa.RegNone, Rs1: isa.X6, Rs2: isa.X7, Rs3: isa.RegNone, Imm: -8}, 1)
+	br.Src[0] = id0
+	br.LiveIn[1] = isa.X7
+	brID := g.Add(br)
+	g.LiveOut[isa.X6] = id0
+
+	cfg := M128()
+	hier := mem.MustHierarchy(mem.DefaultHierarchy())
+	pos := make([]noc.Coord, g.Len())
+	for i := range pos {
+		pos[i] = noc.Coord{Row: i / cfg.Cols, Col: i % cfg.Cols}
+	}
+	run := func(opts LoopOptions) *LoopResult {
+		e, err := NewEngine(cfg, g, pos, brID, mem.NewMemory(), hier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var regs [isa.NumRegs]uint32
+		regs[isa.X7] = 100
+		res, err := e.RunLoop(&regs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(LoopOptions{})
+	piped := run(LoopOptions{Pipelined: true})
+	if piped.TotalCycles >= serial.TotalCycles {
+		t.Errorf("pipelined %v !< serial %v", piped.TotalCycles, serial.TotalCycles)
+	}
+	tiled := run(LoopOptions{Pipelined: true, Tiles: 4})
+	if tiled.TotalCycles > piped.TotalCycles {
+		t.Errorf("tiled %v > pipelined %v", tiled.TotalCycles, piped.TotalCycles)
+	}
+}
+
+// TestEngineFeedback verifies measured latencies flow back into the graph.
+func TestEngineFeedback(t *testing.T) {
+	g := dfg.NewGraph()
+	ld := newNode(isa.Inst{Op: isa.OpLW, Rd: isa.X5, Rs1: isa.X10, Rs2: isa.RegNone, Rs3: isa.RegNone}, 3)
+	ld.LiveIn[0] = isa.X10
+	id0 := g.Add(ld)
+	use := newNode(isa.Inst{Op: isa.OpADD, Rd: isa.X6, Rs1: isa.X5, Rs2: isa.X5, Rs3: isa.RegNone}, 1)
+	use.Src[0] = id0
+	id1 := g.Add(use)
+	g.LiveOut[isa.X6] = id1
+
+	cfg := M128()
+	hier := mem.MustHierarchy(mem.DefaultHierarchy())
+	pos := []noc.Coord{{Row: 0, Col: -1}, {Row: 0, Col: 0}}
+	e, err := NewEngine(cfg, g, pos, dfg.None, mem.NewMemory(), hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regs [isa.NumRegs]uint32
+	regs[isa.X10] = 0x2000
+	if _, err := e.RunIteration(&regs); err != nil {
+		t.Fatal(err)
+	}
+	nodes, edges, err := e.Feedback(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edges == 0 {
+		t.Error("no edge measurements recorded")
+	}
+	_ = nodes
+	// The cold load's measured latency must exceed the optimistic estimate.
+	if g.Node(id0).OpLat <= 3 {
+		t.Errorf("measured load latency = %v, want > L1 estimate", g.Node(id0).OpLat)
+	}
+	if amat := e.MeasuredAMAT(); amat <= 3 {
+		t.Errorf("AMAT = %v", amat)
+	}
+}
+
+func TestEngineValueSemanticsMatchALU(t *testing.T) {
+	// FP multiply on the accelerator must equal alu.Eval bit-for-bit.
+	g := dfg.NewGraph()
+	n := newNode(isa.Inst{Op: isa.OpFMULS, Rd: isa.F1, Rs1: isa.F2, Rs2: isa.F3, Rs3: isa.RegNone}, 5)
+	n.LiveIn[0], n.LiveIn[1] = isa.F2, isa.F3
+	id := g.Add(n)
+	g.LiveOut[isa.F1] = id
+	cfg := M128()
+	hier := mem.MustHierarchy(mem.DefaultHierarchy())
+	e, err := NewEngine(cfg, g, []noc.Coord{{Row: 0, Col: 0}}, dfg.None, mem.NewMemory(), hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regs [isa.NumRegs]uint32
+	regs[isa.F2] = alu.F32(1.5)
+	regs[isa.F3] = alu.F32(-2.25)
+	if _, err := e.RunIteration(&regs); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := alu.Eval(isa.OpFMULS, alu.F32(1.5), alu.F32(-2.25), 0)
+	if regs[isa.F1] != want {
+		t.Errorf("fp result %#x, want %#x", regs[isa.F1], want)
+	}
+}

@@ -1,0 +1,176 @@
+package accel
+
+import (
+	"fmt"
+	"math"
+
+	"mesa/internal/dfg"
+	"mesa/internal/isa"
+	"mesa/internal/noc"
+)
+
+// Bitstream is the serialized accelerator configuration MESA's ConfigBlock
+// streams out in task T3: per-PE operation and routing control bits. The
+// stream fully describes a mapped region — an accelerator loaded from it
+// behaves identically to one configured directly (tested by round-trip
+// execution).
+//
+// Layout: a 2-word header followed by 4 words per node and 1 word per
+// live-out register binding.
+//
+//	header0: magic(16) | version(8) | reserved(8) | nodeCount(16) | liveOuts(16)
+//	header1: rows(16) | cols(16) | loopBranch(16) | reserved(16)
+//	node w0: op(8) | flags(8) | row(s16) | col(s16) | predLiveIn(8) | liveIn2(8)
+//	node w1: imm(32) | src0(16) | src1(16)
+//	node w2: src2(16) | memDep(16) | predDep(16) | ctrlDep(16)
+//	node w3: liveIn0(8) | liveIn1(8) | opLatBits(32) | reserved(16)
+//	liveout: reg(8) | node(16) | reserved(40)
+type Bitstream []uint64
+
+const (
+	bsMagic   = 0x4D45 // "ME"
+	bsVersion = 1
+
+	bsNone16 = 0xFFFF
+	bsNone8  = 0xFF
+
+	bsFlagFwd        = 1 << 0
+	bsFlagLoopBranch = 1 << 1
+)
+
+func idx16(id dfg.NodeID) uint64 {
+	if id == dfg.None {
+		return bsNone16
+	}
+	return uint64(uint16(id))
+}
+
+func reg8(r isa.Reg) uint64 {
+	if r == isa.RegNone {
+		return bsNone8
+	}
+	return uint64(r)
+}
+
+func toIdx(v uint64) dfg.NodeID {
+	if v == bsNone16 {
+		return dfg.None
+	}
+	return dfg.NodeID(v)
+}
+
+func toReg(v uint64) isa.Reg {
+	if v == bsNone8 {
+		return isa.RegNone
+	}
+	return isa.Reg(v)
+}
+
+// EncodeConfig serializes a mapped region into the configuration bitstream.
+func EncodeConfig(g *dfg.Graph, pos []noc.Coord, loopBranch dfg.NodeID) (Bitstream, error) {
+	if len(pos) != g.Len() {
+		return nil, fmt.Errorf("accel: placement has %d entries for %d nodes", len(pos), g.Len())
+	}
+	if g.Len() >= bsNone16 {
+		return nil, fmt.Errorf("accel: region of %d nodes exceeds bitstream capacity", g.Len())
+	}
+	bs := make(Bitstream, 0, 2+4*g.Len()+len(g.LiveOut))
+	bs = append(bs,
+		uint64(bsMagic)<<48|uint64(bsVersion)<<40|uint64(g.Len())<<16|uint64(len(g.LiveOut)),
+		idx16(loopBranch)<<16,
+	)
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		flags := uint64(0)
+		if n.Fwd {
+			flags |= bsFlagFwd
+		}
+		if dfg.NodeID(i) == loopBranch {
+			flags |= bsFlagLoopBranch
+		}
+		row := uint64(uint16(int16(pos[i].Row)))
+		col := uint64(uint16(int16(pos[i].Col)))
+		bs = append(bs,
+			uint64(n.Inst.Op)<<56|flags<<48|row<<32|col<<16|
+				reg8(n.PredLiveIn)<<8|reg8(n.LiveIn[2]),
+			uint64(uint32(n.Inst.Imm))<<32|idx16(n.Src[0])<<16|idx16(n.Src[1]),
+			idx16(n.Src[2])<<48|idx16(n.MemDep)<<32|idx16(n.PredDep)<<16|idx16(n.CtrlDep),
+			reg8(n.LiveIn[0])<<56|reg8(n.LiveIn[1])<<48|uint64(uint32(float32bits(n.OpLat)))<<16,
+		)
+	}
+	for r, id := range g.LiveOut {
+		bs = append(bs, reg8(r)<<56|idx16(id)<<40)
+	}
+	return bs, nil
+}
+
+// DecodeConfig reconstructs a mapped region from a configuration bitstream.
+func DecodeConfig(bs Bitstream) (*dfg.Graph, []noc.Coord, dfg.NodeID, error) {
+	if len(bs) < 2 {
+		return nil, nil, dfg.None, fmt.Errorf("accel: bitstream too short")
+	}
+	if bs[0]>>48 != bsMagic {
+		return nil, nil, dfg.None, fmt.Errorf("accel: bad bitstream magic %#x", bs[0]>>48)
+	}
+	if v := bs[0] >> 40 & 0xFF; v != bsVersion {
+		return nil, nil, dfg.None, fmt.Errorf("accel: unsupported bitstream version %d", v)
+	}
+	nodes := int(bs[0] >> 16 & 0xFFFF)
+	liveOuts := int(bs[0] & 0xFFFF)
+	if len(bs) != 2+4*nodes+liveOuts {
+		return nil, nil, dfg.None, fmt.Errorf("accel: bitstream length %d != expected %d", len(bs), 2+4*nodes+liveOuts)
+	}
+	loopBranch := toIdx(bs[1] >> 16 & 0xFFFF)
+
+	g := dfg.NewGraph()
+	pos := make([]noc.Coord, nodes)
+	for i := 0; i < nodes; i++ {
+		w0 := bs[2+4*i]
+		w1 := bs[2+4*i+1]
+		w2 := bs[2+4*i+2]
+		w3 := bs[2+4*i+3]
+		n := dfg.Node{
+			Inst: isa.Inst{
+				Op:  isa.Op(w0 >> 56),
+				Rd:  isa.RegNone,
+				Rs1: isa.RegNone, Rs2: isa.RegNone, Rs3: isa.RegNone,
+				Imm: int32(uint32(w1 >> 32)),
+			},
+			OpLat:      float64(float32frombits(uint32(w3 >> 16))),
+			Src:        [3]dfg.NodeID{toIdx(w1 >> 16 & 0xFFFF), toIdx(w1 & 0xFFFF), toIdx(w2 >> 48 & 0xFFFF)},
+			LiveIn:     [3]isa.Reg{toReg(w3 >> 56), toReg(w3 >> 48 & 0xFF), toReg(w0 & 0xFF)},
+			MemDep:     toIdx(w2 >> 32 & 0xFFFF),
+			PredDep:    toIdx(w2 >> 16 & 0xFFFF),
+			CtrlDep:    toIdx(w2 & 0xFFFF),
+			PredLiveIn: toReg(w0 >> 8 & 0xFF),
+			Fwd:        w0>>48&bsFlagFwd != 0,
+		}
+		pos[i] = noc.Coord{Row: int(int16(w0 >> 32 & 0xFFFF)), Col: int(int16(w0 >> 16 & 0xFFFF))}
+		g.Add(n)
+	}
+	for i := 0; i < liveOuts; i++ {
+		w := bs[2+4*nodes+i]
+		g.LiveOut[toReg(w>>56)] = toIdx(w >> 40 & 0xFFFF)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, nil, dfg.None, fmt.Errorf("accel: decoded graph invalid: %w", err)
+	}
+	return g, pos, loopBranch, nil
+}
+
+// Words reports the stream length in 64-bit configuration words.
+func (b Bitstream) Words() int { return len(b) }
+
+// Bytes serializes the stream little-endian (for size accounting and I/O).
+func (b Bitstream) Bytes() []byte {
+	out := make([]byte, 8*len(b))
+	for i, w := range b {
+		for k := 0; k < 8; k++ {
+			out[8*i+k] = byte(w >> (8 * k))
+		}
+	}
+	return out
+}
+
+func float32bits(f float64) uint32     { return math.Float32bits(float32(f)) }
+func float32frombits(b uint32) float32 { return math.Float32frombits(b) }

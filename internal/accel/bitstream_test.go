@@ -1,0 +1,180 @@
+package accel
+
+import (
+	"testing"
+
+	"mesa/internal/dfg"
+	"mesa/internal/isa"
+	"mesa/internal/mem"
+	"mesa/internal/noc"
+)
+
+// buildMappedRegion creates a small mapped region exercising every encoded
+// field: immediates, live-ins, all dependency kinds, predication, and a
+// forwarded load.
+func buildMappedRegion() (*dfg.Graph, []noc.Coord, dfg.NodeID) {
+	g := dfg.NewGraph()
+	// i0: x5 = x6 + 100
+	n0 := newNode(isa.Inst{Op: isa.OpADDI, Rd: isa.X5, Rs1: isa.X6, Rs2: isa.RegNone, Rs3: isa.RegNone, Imm: 100}, 1)
+	n0.LiveIn[0] = isa.X6
+	i0 := g.Add(n0)
+	// i1: branch shadowing i2
+	br := newNode(isa.Inst{Op: isa.OpBEQ, Rd: isa.RegNone, Rs1: isa.X7, Rs2: isa.X0, Rs3: isa.RegNone, Imm: 8}, 1)
+	br.LiveIn[0] = isa.X7
+	i1 := g.Add(br)
+	// i2: predicated x5 update
+	sh := newNode(isa.Inst{Op: isa.OpADDI, Rd: isa.X5, Rs1: isa.X5, Rs2: isa.RegNone, Rs3: isa.RegNone, Imm: -7}, 1)
+	sh.Src[0] = i0
+	sh.CtrlDep = i1
+	sh.PredDep = i0
+	i2 := g.Add(sh)
+	// i3: store x5
+	st := newNode(isa.Inst{Op: isa.OpSW, Rd: isa.RegNone, Rs1: isa.X10, Rs2: isa.X5, Rs3: isa.RegNone, Imm: 4}, 1)
+	st.LiveIn[0] = isa.X10
+	st.Src[1] = i2
+	i3 := g.Add(st)
+	// i4: forwarded reload
+	ld := newNode(isa.Inst{Op: isa.OpLW, Rd: isa.X8, Rs1: isa.X10, Rs2: isa.RegNone, Rs3: isa.RegNone, Imm: 4}, 3)
+	ld.LiveIn[0] = isa.X10
+	ld.Fwd = true
+	ld.Src[1] = i2
+	i4 := g.Add(ld)
+	// i5: induction + loop branch
+	ind := newNode(isa.Inst{Op: isa.OpADDI, Rd: isa.X9, Rs1: isa.X9, Rs2: isa.RegNone, Rs3: isa.RegNone, Imm: 1}, 1)
+	ind.LiveIn[0] = isa.X9
+	i5 := g.Add(ind)
+	lb := newNode(isa.Inst{Op: isa.OpBLT, Rd: isa.RegNone, Rs1: isa.X9, Rs2: isa.X28, Rs3: isa.RegNone, Imm: -24}, 1)
+	lb.Src[0] = i5
+	lb.LiveIn[1] = isa.X28
+	i6 := g.Add(lb)
+
+	g.LiveOut[isa.X5] = i2
+	g.LiveOut[isa.X8] = i4
+	g.LiveOut[isa.X9] = i5
+
+	pos := []noc.Coord{
+		{Row: 0, Col: 0}, {Row: 0, Col: 1}, {Row: 1, Col: 0},
+		{Row: 2, Col: -1}, {Row: 1, Col: 1}, {Row: 2, Col: 2}, {Row: 3, Col: 2},
+	}
+	_ = i3
+	return g, pos, i6
+}
+
+func TestBitstreamRoundTrip(t *testing.T) {
+	g, pos, lb := buildMappedRegion()
+	bs, err := EncodeConfig(g, pos, lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Words() != 2+4*g.Len()+len(g.LiveOut) {
+		t.Errorf("words = %d", bs.Words())
+	}
+	if len(bs.Bytes()) != 8*bs.Words() {
+		t.Error("Bytes length wrong")
+	}
+
+	g2, pos2, lb2, err := DecodeConfig(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb2 != lb {
+		t.Errorf("loop branch = %v, want %v", lb2, lb)
+	}
+	if g2.Len() != g.Len() {
+		t.Fatalf("node count = %d", g2.Len())
+	}
+	for i := range g.Nodes {
+		a, b := g.Node(dfg.NodeID(i)), g2.Node(dfg.NodeID(i))
+		if a.Inst.Op != b.Inst.Op || a.Inst.Imm != b.Inst.Imm {
+			t.Errorf("node %d inst mismatch: %v vs %v", i, a.Inst, b.Inst)
+		}
+		if a.Src != b.Src || a.LiveIn != b.LiveIn || a.MemDep != b.MemDep ||
+			a.PredDep != b.PredDep || a.CtrlDep != b.CtrlDep ||
+			a.PredLiveIn != b.PredLiveIn || a.Fwd != b.Fwd {
+			t.Errorf("node %d deps mismatch", i)
+		}
+		if a.OpLat != b.OpLat {
+			t.Errorf("node %d OpLat %v vs %v", i, a.OpLat, b.OpLat)
+		}
+		if pos[i] != pos2[i] {
+			t.Errorf("node %d pos %v vs %v", i, pos[i], pos2[i])
+		}
+	}
+	for r, id := range g.LiveOut {
+		if g2.LiveOut[r] != id {
+			t.Errorf("live-out %v mismatch", r)
+		}
+	}
+}
+
+// TestBitstreamLoadedEngineMatches: an engine configured from the decoded
+// bitstream must execute identically to one configured directly.
+func TestBitstreamLoadedEngineMatches(t *testing.T) {
+	g, pos, lb := buildMappedRegion()
+	bs, err := EncodeConfig(g, pos, lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, pos2, lb2, err := DecodeConfig(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(gr *dfg.Graph, ps []noc.Coord, l dfg.NodeID) ([isa.NumRegs]uint32, uint32, float64) {
+		cfg := M128()
+		memory := mem.NewMemory()
+		memory.StoreWord(0x2004, 0xDEAD)
+		hier := mem.MustHierarchy(mem.DefaultHierarchy())
+		e, err := NewEngine(cfg, gr, ps, l, memory, hier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var regs [isa.NumRegs]uint32
+		regs[isa.X6] = 5
+		regs[isa.X7] = 0 // branch taken: predicated node disabled
+		regs[isa.X10] = 0x2000
+		regs[isa.X28] = 6
+		res, err := e.RunLoop(&regs, LoopOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return regs, memory.LoadWord(0x2004), res.SerialCycles
+	}
+
+	regsA, memA, cycA := run(g, pos, lb)
+	regsB, memB, cycB := run(g2, pos2, lb2)
+	if regsA != regsB {
+		t.Error("register state differs between direct and bitstream-loaded engines")
+	}
+	if memA != memB {
+		t.Errorf("memory differs: %#x vs %#x", memA, memB)
+	}
+	if cycA != cycB {
+		t.Errorf("timing differs: %v vs %v", cycA, cycB)
+	}
+}
+
+func TestBitstreamValidation(t *testing.T) {
+	g, pos, lb := buildMappedRegion()
+	if _, err := EncodeConfig(g, pos[:2], lb); err == nil {
+		t.Error("short placement accepted")
+	}
+	bs, _ := EncodeConfig(g, pos, lb)
+	if _, _, _, err := DecodeConfig(bs[:1]); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	bad := append(Bitstream{}, bs...)
+	bad[0] ^= uint64(1) << 60 // corrupt magic
+	if _, _, _, err := DecodeConfig(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	ver := append(Bitstream{}, bs...)
+	ver[0] ^= uint64(1) << 40 // corrupt version
+	if _, _, _, err := DecodeConfig(ver); err == nil {
+		t.Error("bad version accepted")
+	}
+	short := append(Bitstream{}, bs[:len(bs)-1]...)
+	if _, _, _, err := DecodeConfig(short); err == nil {
+		t.Error("wrong length accepted")
+	}
+}

@@ -1,0 +1,168 @@
+package accel
+
+import (
+	"testing"
+
+	"mesa/internal/dfg"
+	"mesa/internal/isa"
+	"mesa/internal/mem"
+	"mesa/internal/noc"
+)
+
+// TestNoCContention: many simultaneous long-distance transfers from one row
+// must queue on the row's NoC lanes, showing up as wait cycles.
+func TestNoCContention(t *testing.T) {
+	g := dfg.NewGraph()
+	// One producer...
+	src := newNode(isa.Inst{Op: isa.OpADD, Rd: isa.X5, Rs1: isa.X6, Rs2: isa.X7, Rs3: isa.RegNone}, 1)
+	src.LiveIn[0], src.LiveIn[1] = isa.X6, isa.X7
+	srcID := g.Add(src)
+	// ...fanning out to six consumers far across the grid (all transfers
+	// ride the NoC and originate in the same row).
+	for k := 0; k < 6; k++ {
+		n := newNode(isa.Inst{Op: isa.OpADD, Rd: isa.IntReg(8 + k), Rs1: isa.X5, Rs2: isa.X5, Rs3: isa.RegNone}, 1)
+		n.Src[0] = srcID
+		g.Add(n)
+	}
+	g.LiveOut[isa.X8] = 1
+
+	cfg := M128()
+	cfg.NoCLanesPerRow = 1
+	pos := make([]noc.Coord, g.Len())
+	pos[0] = noc.Coord{Row: 0, Col: 0}
+	for k := 1; k < g.Len(); k++ {
+		pos[k] = noc.Coord{Row: 10 + k, Col: 7} // far away: NoC required
+	}
+	hier := mem.MustHierarchy(mem.DefaultHierarchy())
+	e, err := NewEngine(cfg, g, pos, dfg.None, mem.NewMemory(), hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regs [isa.NumRegs]uint32
+	regs[isa.X6], regs[isa.X7] = 1, 2
+	if _, err := e.RunIteration(&regs); err != nil {
+		t.Fatal(err)
+	}
+	c := e.Counters()
+	if c.NoCTransfers < 6 {
+		t.Errorf("NoC transfers = %d, want >= 6", c.NoCTransfers)
+	}
+	if c.NoCWaitCycles == 0 {
+		t.Error("six transfers on one lane should queue (no wait recorded)")
+	}
+
+	// With more lanes, waiting shrinks.
+	cfg2 := M128()
+	cfg2.NoCLanesPerRow = 6
+	e2, err := NewEngine(cfg2, g, pos, dfg.None, mem.NewMemory(), hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.RunIteration(&regs); err != nil {
+		t.Fatal(err)
+	}
+	if e2.Counters().NoCWaitCycles >= c.NoCWaitCycles {
+		t.Errorf("more lanes did not reduce waiting: %.0f vs %.0f",
+			e2.Counters().NoCWaitCycles, c.NoCWaitCycles)
+	}
+}
+
+// TestBusFallbackTiming: a node on the secondary bus pays BusLat per
+// transfer but still computes correctly.
+func TestBusFallbackTiming(t *testing.T) {
+	g := dfg.NewGraph()
+	a := newNode(isa.Inst{Op: isa.OpADDI, Rd: isa.X5, Rs1: isa.X6, Rs2: isa.RegNone, Rs3: isa.RegNone, Imm: 1}, 1)
+	a.LiveIn[0] = isa.X6
+	aID := g.Add(a)
+	b := newNode(isa.Inst{Op: isa.OpADDI, Rd: isa.X7, Rs1: isa.X5, Rs2: isa.RegNone, Rs3: isa.RegNone, Imm: 2}, 1)
+	b.Src[0] = aID
+	bID := g.Add(b)
+	g.LiveOut[isa.X7] = bID
+
+	cfg := M128()
+	bus := noc.Coord{Row: -128, Col: -128} // outside grid and edges: the bus
+	pos := []noc.Coord{{Row: 0, Col: 0}, bus}
+	hier := mem.MustHierarchy(mem.DefaultHierarchy())
+	e, err := NewEngine(cfg, g, pos, dfg.None, mem.NewMemory(), hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regs [isa.NumRegs]uint32
+	regs[isa.X6] = 10
+	res, err := e.RunIteration(&regs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs[isa.X7] != 13 {
+		t.Errorf("x7 = %d, want 13", regs[isa.X7])
+	}
+	// Timing: live-in(1) + add(1) + bus(8) + add(1) = 11.
+	want := 1.0 + 1 + float64(cfg.BusLat) + 1
+	if res.Cycles != want {
+		t.Errorf("cycles = %v, want %v", res.Cycles, want)
+	}
+}
+
+// TestLoadInvalidationReplay: a load whose address issues before an earlier
+// overlapping store resolves must be invalidated and replayed, with the
+// correct (program-order) value.
+func TestLoadInvalidationReplay(t *testing.T) {
+	g := dfg.NewGraph()
+	// n0: slow chain feeding the store's address... modeled by a multiply.
+	mul := newNode(isa.Inst{Op: isa.OpMUL, Rd: isa.X5, Rs1: isa.X6, Rs2: isa.X7, Rs3: isa.RegNone}, 3)
+	mul.LiveIn[0], mul.LiveIn[1] = isa.X6, isa.X7
+	mulID := g.Add(mul)
+	// n1: sb x8, 1(x5) — byte store, address late (depends on the multiply),
+	// partially overlapping the later word load.
+	st := newNode(isa.Inst{Op: isa.OpSB, Rd: isa.RegNone, Rs1: isa.X5, Rs2: isa.X8, Rs3: isa.RegNone, Imm: 1}, 1)
+	st.Src[0] = mulID
+	st.LiveIn[1] = isa.X8
+	g.Add(st)
+	// n2: lw x9, 0(x10) — address ready immediately, overlaps the store.
+	ld := newNode(isa.Inst{Op: isa.OpLW, Rd: isa.X9, Rs1: isa.X10, Rs2: isa.RegNone, Rs3: isa.RegNone}, 3)
+	ld.LiveIn[0] = isa.X10
+	ldID := g.Add(ld)
+	g.LiveOut[isa.X9] = ldID
+
+	cfg := M128()
+	memory := mem.NewMemory()
+	memory.StoreWord(0x1000, 0xAABBCCDD)
+	hier := mem.MustHierarchy(mem.DefaultHierarchy())
+	pos := []noc.Coord{{Row: 0, Col: 0}, {Row: 0, Col: -1}, {Row: 1, Col: -1}}
+	e, err := NewEngine(cfg, g, pos, dfg.None, memory, hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regs [isa.NumRegs]uint32
+	regs[isa.X6], regs[isa.X7] = 0x400, 4 // 0x400*4 = 0x1000
+	regs[isa.X8] = 0xEE
+	regs[isa.X10] = 0x1000
+	if _, err := e.RunIteration(&regs); err != nil {
+		t.Fatal(err)
+	}
+	// Program order: the byte store precedes the load, so the load sees it.
+	if regs[isa.X9] != 0xAABBEEDD {
+		t.Errorf("load value = %#x, want 0xAABBEEDD (store forwarded in program order)", regs[isa.X9])
+	}
+	if e.Counters().Invalidations == 0 {
+		t.Error("late-resolving overlapping store should invalidate the load")
+	}
+	if memory.LoadWord(0x1000) != 0xAABBEEDD {
+		t.Error("store not committed")
+	}
+}
+
+// TestEngineRejectsBadPlacementLength: defensive validation.
+func TestEngineRejectsBadPlacementLength(t *testing.T) {
+	g := dfg.NewGraph()
+	g.Add(newNode(isa.Nop(), 1))
+	hier := mem.MustHierarchy(mem.DefaultHierarchy())
+	if _, err := NewEngine(M128(), g, nil, dfg.None, mem.NewMemory(), hier); err == nil {
+		t.Error("mismatched placement accepted")
+	}
+	bad := M128()
+	bad.MemPorts = 0
+	if _, err := NewEngine(bad, g, []noc.Coord{{}}, dfg.None, mem.NewMemory(), hier); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

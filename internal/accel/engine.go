@@ -1,0 +1,642 @@
+package accel
+
+import (
+	"fmt"
+	"math"
+
+	"mesa/internal/alu"
+	"mesa/internal/dfg"
+	"mesa/internal/isa"
+	"mesa/internal/mem"
+	"mesa/internal/noc"
+)
+
+// Engine executes a mapped dataflow graph on the simulated accelerator.
+// Execution is event-driven at operation granularity: a node fires once all
+// of its inputs have arrived; arrivals include interconnect latency with NoC
+// lane contention; loads and stores arbitrate for the shared memory ports
+// and take the cache hierarchy's latency for their actual addresses.
+//
+// The engine is simultaneously the functional model (it computes real values
+// against the shared memory, verified against the RV32 interpreter) and the
+// performance model (per-PE latency counters, reported back to MESA).
+type Engine struct {
+	cfg  *Config
+	g    *dfg.Graph
+	pos  []noc.Coord
+	mem  *mem.Memory
+	hier *mem.Hierarchy
+
+	// Loop control.
+	loopBranch dfg.NodeID
+
+	// Per-iteration scratch state, sized to the graph.
+	value      []uint32
+	completion []float64
+	enabled    []bool
+	taken      []bool
+
+	// Resource state (reset per iteration; steady-state contention across
+	// iterations is captured by the initiation-interval model in run.go).
+	portFree []float64
+	laneFree [][]float64
+
+	// Strided-prefetch state per load node (§4.2): once a load's address
+	// advances by a stable stride between iterations, the next iteration's
+	// line is prefetched.
+	pfLastAddr []uint32
+	pfStride   []int64
+	pfSeen     []uint8
+
+	// Per-iteration cache-line coalescing (vectorization): line tag → port
+	// grant time of the first access this iteration.
+	lineGrant map[uint32]float64
+
+	// Time-multiplexing extension: when the mapper assigned multiple
+	// instructions to one unit, their executions serialize on it.
+	timeShared  bool
+	unitBusy    map[noc.Coord]float64
+	maxUnitWork float64 // largest per-iteration work on any shared unit
+
+	counters Counters
+	activity Activity
+}
+
+// Counters accumulates measured per-node and per-edge latencies — the
+// hardware performance counters at PEs and load/store entries (§5.2) whose
+// values MESA's frontend tallies to refine its DFG model.
+type Counters struct {
+	Iterations uint64
+
+	// OpLatSum[i] accumulates node i's observed operation latency
+	// (inputs-ready to output-produced).
+	OpLatSum []float64
+	OpLatN   []uint64
+
+	// EdgeLatSum accumulates observed transfer latency per (from,to) edge,
+	// including NoC queueing.
+	EdgeLatSum map[uint64]float64
+	EdgeLatN   map[uint64]uint64
+
+	// Memory behaviour.
+	Loads, Stores  uint64
+	Forwarded      uint64 // loads satisfied by in-flight store data
+	Prefetches     uint64 // next-iteration strided prefetches issued
+	Coalesced      uint64 // accesses merged into an earlier same-line access
+	Invalidations  uint64 // loads replayed due to late-resolving stores
+	PortWaitCycles float64
+	NoCTransfers   uint64
+	NoCWaitCycles  float64
+	LocalTransfers uint64
+}
+
+func edgeKey(from, to dfg.NodeID) uint64 {
+	return uint64(uint32(from))<<32 | uint64(uint32(to))
+}
+
+// Activity tracks per-component busy cycles for energy accounting.
+type Activity struct {
+	Cycles      float64 // total accelerator cycles while running
+	IntALU      float64 // ALU-active cycles (integer ops)
+	FPU         float64 // FP-active cycles
+	NoC         float64 // NoC transfer-cycles
+	LSU         float64 // load/store entry active cycles
+	CtrlEvents  uint64  // control-network assertions
+	MemAccesses uint64
+
+	// PEsConfigured is the number of PEs holding instructions (summed over
+	// tiles). Unconfigured slices are power-gated, so leakage scales with
+	// this rather than the full array (0 means unknown: charge the full
+	// array).
+	PEsConfigured float64
+}
+
+// IterationResult reports one executed iteration.
+type IterationResult struct {
+	Cycles   float64
+	Continue bool // loop branch taken: run another iteration
+}
+
+// NewEngine configures the accelerator with a mapped graph. pos gives each
+// node's coordinate (edge columns for memory nodes); coordinates outside the
+// grid and edges denote the fallback bus. loopBranch is the loop-closing
+// branch node, or dfg.None for straight-line regions.
+func NewEngine(cfg *Config, g *dfg.Graph, pos []noc.Coord, loopBranch dfg.NodeID, m *mem.Memory, hier *mem.Hierarchy) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(pos) != g.Len() {
+		return nil, fmt.Errorf("accel: placement has %d entries for %d nodes", len(pos), g.Len())
+	}
+	n := g.Len()
+	e := &Engine{
+		cfg: cfg, g: g, pos: pos, mem: m, hier: hier,
+		loopBranch: loopBranch,
+		value:      make([]uint32, n),
+		completion: make([]float64, n),
+		enabled:    make([]bool, n),
+		taken:      make([]bool, n),
+		portFree:   make([]float64, cfg.MemPorts),
+		pfLastAddr: make([]uint32, n),
+		pfStride:   make([]int64, n),
+		pfSeen:     make([]uint8, n),
+		counters: Counters{
+			OpLatSum:   make([]float64, n),
+			OpLatN:     make([]uint64, n),
+			EdgeLatSum: make(map[uint64]float64),
+			EdgeLatN:   make(map[uint64]uint64),
+		},
+	}
+	e.laneFree = make([][]float64, cfg.Rows)
+	for r := range e.laneFree {
+		e.laneFree[r] = make([]float64, max(1, cfg.NoCLanesPerRow))
+	}
+	for _, p := range pos {
+		if cfg.InBounds(p) {
+			e.activity.PEsConfigured++
+		}
+	}
+	// Detect time-shared units (the mapping extension): any coordinate with
+	// more than one instruction serializes its occupants.
+	work := make(map[noc.Coord]float64)
+	count := make(map[noc.Coord]int)
+	for i, p := range pos {
+		if !cfg.InBounds(p) && !cfg.IsEdge(p) {
+			continue
+		}
+		count[p]++
+		work[p] += cfg.EstimateLat(g.Nodes[i].Inst)
+		if count[p] > 1 {
+			e.timeShared = true
+			if work[p] > e.maxUnitWork {
+				e.maxUnitWork = work[p]
+			}
+		}
+	}
+	if e.timeShared {
+		e.unitBusy = make(map[noc.Coord]float64, len(count))
+	}
+	return e, nil
+}
+
+// onBus reports whether a node fell back to the secondary bus.
+func (e *Engine) onBus(id dfg.NodeID) bool {
+	p := e.pos[id]
+	return !e.cfg.InBounds(p) && !e.cfg.IsEdge(p)
+}
+
+// transfer returns the arrival time at `to` of data produced by `from` at
+// time ready, charging interconnect latency and NoC lane contention, and
+// records the measured edge latency.
+func (e *Engine) transfer(from, to dfg.NodeID, ready float64) float64 {
+	var lat float64
+	switch {
+	case e.onBus(from) || e.onBus(to):
+		lat = float64(e.cfg.BusLat)
+		e.counters.NoCTransfers++
+	default:
+		a, b := e.pos[from], e.pos[to]
+		base := float64(e.cfg.Interconnect.Latency(a, b))
+		hr, isHalfRing := e.cfg.Interconnect.(noc.HalfRing)
+		if isHalfRing && hr.UsesNoC(a, b) {
+			// Arbitrate for a NoC lane in the producer's row.
+			row := a.Row
+			if row < 0 || row >= len(e.laneFree) {
+				row = 0
+			}
+			lane := 0
+			for l := 1; l < len(e.laneFree[row]); l++ {
+				if e.laneFree[row][l] < e.laneFree[row][lane] {
+					lane = l
+				}
+			}
+			start := math.Max(ready, e.laneFree[row][lane])
+			e.counters.NoCWaitCycles += start - ready
+			e.laneFree[row][lane] = start + 1
+			lat = (start - ready) + base
+			e.counters.NoCTransfers++
+			e.activity.NoC += base
+		} else {
+			lat = base
+			e.counters.LocalTransfers++
+			if base > 0 {
+				e.activity.NoC += 0 // local links are part of PE power
+			}
+		}
+	}
+	e.counters.EdgeLatSum[edgeKey(from, to)] += lat
+	e.counters.EdgeLatN[edgeKey(from, to)]++
+	return ready + lat
+}
+
+// port grabs the earliest available memory port at or after ready and
+// returns the access start time. With vectorization enabled, an access to a
+// cache line already touched this iteration coalesces onto the earlier
+// access's port grant (wide-access merging of same-base loads, §4.2).
+func (e *Engine) port(ready float64, addr uint32) float64 {
+	const lineShift = 6 // 64-byte lines
+	if e.cfg.EnableVectorization {
+		if grant, ok := e.lineGrant[addr>>lineShift]; ok && grant >= ready-1 {
+			e.counters.Coalesced++
+			return math.Max(ready, grant)
+		}
+	}
+	best := 0
+	for p := 1; p < len(e.portFree); p++ {
+		if e.portFree[p] < e.portFree[best] {
+			best = p
+		}
+	}
+	start := math.Max(ready, e.portFree[best])
+	e.counters.PortWaitCycles += start - ready
+	e.portFree[best] = start + 1 // ports accept one access per cycle
+	if e.cfg.EnableVectorization {
+		e.lineGrant[addr>>lineShift] = start
+	}
+	return start
+}
+
+// prefetchNext records a load's address and, once its stride across
+// iterations is stable, pulls the next iteration's line into the caches.
+func (e *Engine) prefetchNext(id dfg.NodeID, addr uint32) {
+	if !e.cfg.EnablePrefetch {
+		return
+	}
+	if e.pfSeen[id] > 0 {
+		stride := int64(addr) - int64(e.pfLastAddr[id])
+		if e.pfSeen[id] > 1 && stride == e.pfStride[id] && stride != 0 {
+			e.hier.Prefetch(uint32(int64(addr) + stride))
+			e.counters.Prefetches++
+		}
+		e.pfStride[id] = stride
+	}
+	e.pfLastAddr[id] = addr
+	if e.pfSeen[id] < 2 {
+		e.pfSeen[id]++
+	}
+}
+
+// storeBufEntry is an in-flight store visible to later loads of the same
+// iteration (program-order forwarding, Figure 5).
+type storeBufEntry struct {
+	node      dfg.NodeID
+	addr      uint32
+	width     uint32
+	value     uint32
+	dataReady float64 // when the store's data is available to forward
+	addrReady float64 // when the store's address resolves
+	op        isa.Op
+	enabled   bool
+}
+
+// RunIteration executes one loop iteration. regs carries the architectural
+// live-in values and receives the live-out values. The returned result gives
+// the iteration latency and whether the loop branch requests another
+// iteration.
+func (e *Engine) RunIteration(regs *[isa.NumRegs]uint32) (IterationResult, error) {
+	g := e.g
+	for i := range e.portFree {
+		e.portFree[i] = 0
+	}
+	for r := range e.laneFree {
+		for l := range e.laneFree[r] {
+			e.laneFree[r][l] = 0
+		}
+	}
+
+	var storeBuf []storeBufEntry
+	total := 0.0
+	if e.cfg.EnableVectorization {
+		e.lineGrant = make(map[uint32]float64)
+	}
+	if e.timeShared {
+		for k := range e.unitBusy {
+			delete(e.unitBusy, k)
+		}
+	}
+
+	readReg := func(r isa.Reg) uint32 {
+		if r == isa.X0 || r == isa.RegNone {
+			return 0
+		}
+		return regs[r]
+	}
+
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		id := dfg.NodeID(i)
+
+		// Predication: enabled iff every controlling branch is enabled and
+		// not taken.
+		en := true
+		ctrlArrival := 0.0
+		if n.CtrlDep != dfg.None {
+			b := n.CtrlDep
+			en = e.enabled[b] && !e.taken[b]
+			if a := e.completion[b] + ctrlLat; a > ctrlArrival {
+				ctrlArrival = a
+			}
+			e.activity.CtrlEvents++
+		}
+		e.enabled[i] = en
+
+		// Operand gathering.
+		var opVal [3]uint32
+		arrival := ctrlArrival
+		for k := 0; k < 3; k++ {
+			switch {
+			case n.Src[k] != dfg.None:
+				src := n.Src[k]
+				opVal[k] = e.value[src]
+				if a := e.transfer(src, id, e.completion[src]); a > arrival {
+					arrival = a
+				}
+			case n.LiveIn[k] != isa.RegNone:
+				opVal[k] = readReg(n.LiveIn[k])
+				if liveInLat > arrival {
+					arrival = liveInLat
+				}
+			}
+		}
+		if n.MemDep != dfg.None {
+			if a := e.transfer(n.MemDep, id, e.completion[n.MemDep]); a > arrival {
+				arrival = a
+			}
+		}
+
+		if !en {
+			// Disabled PE: forward the old destination value (the hidden
+			// predication dependency) after one forwarding cycle.
+			var old uint32
+			pa := ctrlArrival
+			if n.PredDep != dfg.None {
+				old = e.value[n.PredDep]
+				if a := e.transfer(n.PredDep, id, e.completion[n.PredDep]); a > pa {
+					pa = a
+				}
+			} else if n.PredLiveIn != isa.RegNone {
+				old = readReg(n.PredLiveIn)
+				if liveInLat > pa {
+					pa = liveInLat
+				}
+			}
+			e.value[i] = old
+			e.completion[i] = pa + 1
+			e.taken[i] = false
+			if e.completion[i] > total {
+				total = e.completion[i]
+			}
+			continue
+		}
+
+		start := arrival
+		// Time-shared units serialize their occupants.
+		if e.timeShared {
+			if bz, ok := e.unitBusy[e.pos[i]]; ok && bz > start {
+				start = bz
+			}
+		}
+		var val uint32
+		var done float64
+
+		switch {
+		case n.Fwd:
+			// Statically forwarded load: a pass-through move PE.
+			val = opVal[1]
+			done = start + 1
+			e.activity.IntALU++
+
+		case n.Inst.IsLoad():
+			addr := alu.EffAddr(opVal[0], n.Inst.Imm)
+			width := mem.AccessBytes(n.Inst.Op)
+			e.counters.Loads++
+			e.activity.LSU++
+			e.activity.MemAccesses++
+			// Dynamic store-to-load forwarding and disambiguation against
+			// in-flight stores of this iteration.
+			fwdDone := math.Inf(-1)
+			fwd := false
+			conflict := false
+			var conflictDone float64
+			for s := len(storeBuf) - 1; s >= 0; s-- {
+				st := &storeBuf[s]
+				if !st.enabled {
+					continue
+				}
+				if !overlap(st.addr, st.width, addr, width) {
+					continue
+				}
+				if st.addr == addr && st.width == width && width == 4 {
+					// Exact match: broadcast forwarding path.
+					val = st.value
+					fwdDone = math.Max(start, st.dataReady) + 1
+					fwd = true
+					if st.addrReady > start {
+						// The store's address resolved after this load
+						// issued: the load speculated and is invalidated.
+						e.counters.Invalidations++
+						fwdDone = math.Max(fwdDone, st.addrReady+invalidateLat)
+					}
+				} else {
+					// Partial overlap: the load must replay from memory
+					// after the store commits.
+					conflict = true
+					conflictDone = math.Max(st.dataReady, st.addrReady)
+				}
+				break
+			}
+			if fwd {
+				e.counters.Forwarded++
+				done = fwdDone
+			} else {
+				issue := start
+				if conflict {
+					e.counters.Invalidations++
+					issue = math.Max(issue, conflictDone+invalidateLat)
+				}
+				at := e.port(issue, addr)
+				lat := float64(e.hier.AccessLatency(addr))
+				e.prefetchNext(id, addr)
+				// Functional read sees program-order memory: apply any
+				// overlapping earlier stores of this iteration first.
+				v, err := e.loadWithBuffer(n.Inst.Op, addr, storeBuf)
+				if err != nil {
+					return IterationResult{}, err
+				}
+				val = v
+				done = at + lat
+			}
+
+		case n.Inst.IsStore():
+			addr := alu.EffAddr(opVal[0], n.Inst.Imm)
+			width := mem.AccessBytes(n.Inst.Op)
+			e.counters.Stores++
+			e.activity.LSU++
+			e.activity.MemAccesses++
+			at := e.port(start, addr)
+			done = at + 1
+			storeBuf = append(storeBuf, storeBufEntry{
+				node: id, addr: addr, width: width, value: opVal[1],
+				dataReady: done, addrReady: start, op: n.Inst.Op, enabled: true,
+			})
+			val = opVal[1]
+
+		case n.Inst.IsBranch():
+			tk, err := alu.EvalBranch(n.Inst.Op, opVal[0], opVal[1])
+			if err != nil {
+				return IterationResult{}, err
+			}
+			e.taken[i] = tk
+			if tk {
+				val = 1
+			}
+			done = start + e.cfg.OpLat[isa.ClassBranch]
+			e.activity.IntALU += e.cfg.OpLat[isa.ClassBranch]
+
+		case n.Inst.Op == isa.OpJAL && n.Inst.Imm < 0:
+			// Loop-closing jump: unconditionally continue.
+			e.taken[i] = true
+			done = start + 1
+
+		default:
+			a, b := opVal[0], opVal[1]
+			if n.Inst.Op.HasImm() || n.Inst.Op == isa.OpLUI {
+				b = uint32(n.Inst.Imm)
+			}
+			v, err := alu.Eval(n.Inst.Op, a, b, opVal[2])
+			if err != nil {
+				return IterationResult{}, fmt.Errorf("accel: node i%d: %w", i, err)
+			}
+			val = v
+			lat := e.cfg.OpLat[n.Inst.Class()]
+			done = start + lat
+			if n.Inst.Op.IsFP() {
+				e.activity.FPU += lat
+			} else {
+				e.activity.IntALU += lat
+			}
+		}
+
+		e.value[i] = val
+		e.completion[i] = done
+		if e.timeShared && !e.onBus(id) {
+			if done > e.unitBusy[e.pos[i]] {
+				e.unitBusy[e.pos[i]] = done
+			}
+		}
+		e.counters.OpLatSum[i] += done - start
+		e.counters.OpLatN[i]++
+		if done > total {
+			total = done
+		}
+	}
+
+	// Commit enabled stores to memory in program order.
+	for _, st := range storeBuf {
+		if !st.enabled || !e.enabled[st.node] {
+			continue
+		}
+		if err := e.mem.Store(st.op, st.addr, st.value); err != nil {
+			return IterationResult{}, err
+		}
+	}
+
+	// Update architectural live-outs.
+	for r, id := range g.LiveOut {
+		if r != isa.X0 {
+			regs[r] = e.value[id]
+		}
+	}
+
+	cont := false
+	if e.loopBranch != dfg.None && e.enabled[e.loopBranch] {
+		cont = e.taken[e.loopBranch]
+	}
+
+	e.counters.Iterations++
+	return IterationResult{Cycles: total, Continue: cont}, nil
+}
+
+// AddElapsed charges wall-clock accelerator cycles (leakage time). RunLoop
+// calls this with the mode-adjusted total so that pipelined and tiled
+// executions pay leakage for elapsed time, not for the sum of per-iteration
+// latencies.
+func (e *Engine) AddElapsed(cycles float64) { e.activity.Cycles += cycles }
+
+// loadWithBuffer reads memory as seen at this point of the iteration:
+// earlier enabled stores of the same iteration shadow memory contents.
+func (e *Engine) loadWithBuffer(op isa.Op, addr uint32, buf []storeBufEntry) (uint32, error) {
+	width := mem.AccessBytes(op)
+	covered := false
+	for s := len(buf) - 1; s >= 0 && !covered; s-- {
+		if buf[s].enabled && overlap(buf[s].addr, buf[s].width, addr, width) {
+			covered = true
+		}
+	}
+	if !covered {
+		return e.mem.Load(op, addr)
+	}
+	// Overlay: apply buffered stores byte-wise onto a copy of the loaded
+	// bytes. Rare path (aliasing within one iteration).
+	bytes := make([]byte, width)
+	for k := range bytes {
+		bytes[k] = e.mem.LoadByte(addr + uint32(k))
+	}
+	for _, st := range buf {
+		if !st.enabled {
+			continue
+		}
+		for k := uint32(0); k < st.width; k++ {
+			a := st.addr + k
+			if a >= addr && a < addr+width {
+				bytes[a-addr] = byte(st.value >> (8 * k))
+			}
+		}
+	}
+	var word uint32
+	for k := int(width) - 1; k >= 0; k-- {
+		word = word<<8 | uint32(bytes[k])
+	}
+	switch op {
+	case isa.OpLB:
+		return uint32(int32(int8(word))), nil
+	case isa.OpLH:
+		return uint32(int32(int16(word))), nil
+	}
+	return word, nil
+}
+
+func overlap(aAddr, aW, bAddr, bW uint32) bool {
+	return aAddr < bAddr+bW && bAddr < aAddr+aW
+}
+
+// Counters returns the accumulated performance counters.
+func (e *Engine) Counters() *Counters { return &e.counters }
+
+// Activity returns the accumulated component activity for energy modeling.
+func (e *Engine) Activity() Activity { return e.activity }
+
+// ResetCounters clears measured statistics (used between optimization
+// rounds so each round reflects the current configuration).
+func (e *Engine) ResetCounters() {
+	n := e.g.Len()
+	e.counters = Counters{
+		OpLatSum:   make([]float64, n),
+		OpLatN:     make([]uint64, n),
+		EdgeLatSum: make(map[uint64]float64),
+		EdgeLatN:   make(map[uint64]uint64),
+	}
+}
+
+const (
+	ctrlLat       = 1.0
+	liveInLat     = 1.0
+	invalidateLat = 2.0
+)
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,174 @@
+package accel
+
+import (
+	"testing"
+
+	"mesa/internal/dfg"
+	"mesa/internal/isa"
+	"mesa/internal/mem"
+	"mesa/internal/noc"
+)
+
+// stridedLoadLoop builds a loop streaming over an array: one load with a
+// pointer-bump induction and the closing branch.
+func stridedLoadLoop(stride int32) (*dfg.Graph, dfg.NodeID) {
+	g := dfg.NewGraph()
+	ld := newNode(isa.Inst{Op: isa.OpLW, Rd: isa.X5, Rs1: isa.X10, Rs2: isa.RegNone, Rs3: isa.RegNone}, 3)
+	ld.LiveIn[0] = isa.X10
+	ldID := g.Add(ld)
+	bump := newNode(isa.Inst{Op: isa.OpADDI, Rd: isa.X10, Rs1: isa.X10, Rs2: isa.RegNone, Rs3: isa.RegNone, Imm: stride}, 1)
+	bump.LiveIn[0] = isa.X10
+	bumpID := g.Add(bump)
+	ind := newNode(isa.Inst{Op: isa.OpADDI, Rd: isa.X6, Rs1: isa.X6, Rs2: isa.RegNone, Rs3: isa.RegNone, Imm: 1}, 1)
+	ind.LiveIn[0] = isa.X6
+	indID := g.Add(ind)
+	br := newNode(isa.Inst{Op: isa.OpBLT, Rd: isa.RegNone, Rs1: isa.X6, Rs2: isa.X7, Rs3: isa.RegNone, Imm: -12}, 1)
+	br.Src[0] = indID
+	br.LiveIn[1] = isa.X7
+	brID := g.Add(br)
+	g.LiveOut[isa.X10] = bumpID
+	g.LiveOut[isa.X6] = indID
+	_ = ldID
+	return g, brID
+}
+
+func runStrided(t *testing.T, cfg *Config, iters uint32) (*LoopResult, *Engine) {
+	t.Helper()
+	g, brID := stridedLoadLoop(64) // one cache line per iteration
+	pos := []noc.Coord{{Row: 0, Col: -1}, {Row: 0, Col: 0}, {Row: 0, Col: 1}, {Row: 1, Col: 1}}
+	memory := mem.NewMemory()
+	hier := mem.MustHierarchy(mem.DefaultHierarchy())
+	e, err := NewEngine(cfg, g, pos, brID, memory, hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regs [isa.NumRegs]uint32
+	regs[isa.X10] = 0x100000
+	regs[isa.X7] = iters
+	res, err := e.RunLoop(&regs, LoopOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, e
+}
+
+// TestStridedPrefetchReducesLatency: with prefetching on, the per-line cold
+// misses of a streaming loop disappear after the stride locks in.
+func TestStridedPrefetchReducesLatency(t *testing.T) {
+	on := M128()
+	off := M128()
+	off.EnablePrefetch = false
+	resOn, engOn := runStrided(t, on, 512)
+	resOff, _ := runStrided(t, off, 512)
+	if engOn.Counters().Prefetches == 0 {
+		t.Fatal("no prefetches issued")
+	}
+	if resOn.SerialCycles >= resOff.SerialCycles {
+		t.Errorf("prefetch did not help: %.0f vs %.0f cycles",
+			resOn.SerialCycles, resOff.SerialCycles)
+	}
+}
+
+// TestVectorizationCoalescesSameLine: two loads of the same cache line in
+// one iteration consume a single port slot when vectorization is enabled.
+func TestVectorizationCoalescesSameLine(t *testing.T) {
+	g := dfg.NewGraph()
+	// Two loads off the same base, adjacent words (same 64-byte line).
+	for k := 0; k < 2; k++ {
+		ld := newNode(isa.Inst{Op: isa.OpLW, Rd: isa.IntReg(5 + k), Rs1: isa.X10, Rs2: isa.RegNone, Rs3: isa.RegNone, Imm: int32(4 * k)}, 3)
+		ld.LiveIn[0] = isa.X10
+		g.Add(ld)
+	}
+	g.LiveOut[isa.X5] = 0
+	g.LiveOut[isa.X6] = 1
+
+	cfg := M128()
+	cfg.EnableVectorization = true
+	cfg.MemPorts = 1
+	pos := []noc.Coord{{Row: 0, Col: -1}, {Row: 1, Col: -1}}
+	hier := mem.MustHierarchy(mem.DefaultHierarchy())
+	e, err := NewEngine(cfg, g, pos, dfg.None, mem.NewMemory(), hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regs [isa.NumRegs]uint32
+	regs[isa.X10] = 0x4000
+	if _, err := e.RunIteration(&regs); err != nil {
+		t.Fatal(err)
+	}
+	if e.Counters().Coalesced != 1 {
+		t.Errorf("coalesced = %d, want 1", e.Counters().Coalesced)
+	}
+
+	// Different lines must NOT coalesce.
+	g2 := dfg.NewGraph()
+	for k := 0; k < 2; k++ {
+		ld := newNode(isa.Inst{Op: isa.OpLW, Rd: isa.IntReg(5 + k), Rs1: isa.X10, Rs2: isa.RegNone, Rs3: isa.RegNone, Imm: int32(64 * k)}, 3)
+		ld.LiveIn[0] = isa.X10
+		g2.Add(ld)
+	}
+	g2.LiveOut[isa.X5] = 0
+	e2, err := NewEngine(cfg, g2, pos, dfg.None, mem.NewMemory(), hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.RunIteration(&regs); err != nil {
+		t.Fatal(err)
+	}
+	if e2.Counters().Coalesced != 0 {
+		t.Errorf("cross-line accesses coalesced: %d", e2.Counters().Coalesced)
+	}
+}
+
+// TestVectorizationImprovesII: a port-starved parallel loop gains throughput
+// from coalescing.
+func TestVectorizationImprovesII(t *testing.T) {
+	build := func(vec bool) float64 {
+		g := dfg.NewGraph()
+		var last dfg.NodeID
+		for k := 0; k < 4; k++ {
+			ld := newNode(isa.Inst{Op: isa.OpLW, Rd: isa.IntReg(5 + k), Rs1: isa.X10, Rs2: isa.RegNone, Rs3: isa.RegNone, Imm: int32(4 * k)}, 3)
+			ld.LiveIn[0] = isa.X10
+			last = g.Add(ld)
+		}
+		bump := newNode(isa.Inst{Op: isa.OpADDI, Rd: isa.X10, Rs1: isa.X10, Rs2: isa.RegNone, Rs3: isa.RegNone, Imm: 16}, 1)
+		bump.LiveIn[0] = isa.X10
+		bumpID := g.Add(bump)
+		ind := newNode(isa.Inst{Op: isa.OpADDI, Rd: isa.X6, Rs1: isa.X6, Rs2: isa.RegNone, Rs3: isa.RegNone, Imm: 1}, 1)
+		ind.LiveIn[0] = isa.X6
+		indID := g.Add(ind)
+		br := newNode(isa.Inst{Op: isa.OpBLT, Rd: isa.RegNone, Rs1: isa.X6, Rs2: isa.X7, Rs3: isa.RegNone, Imm: -24}, 1)
+		br.Src[0] = indID
+		br.LiveIn[1] = isa.X7
+		brID := g.Add(br)
+		g.LiveOut[isa.X10] = bumpID
+		g.LiveOut[isa.X6] = indID
+		_ = last
+
+		cfg := M128()
+		cfg.MemPorts = 2
+		cfg.EnableVectorization = vec
+		pos := []noc.Coord{
+			{Row: 0, Col: -1}, {Row: 1, Col: -1}, {Row: 2, Col: -1}, {Row: 3, Col: -1},
+			{Row: 0, Col: 0}, {Row: 0, Col: 1}, {Row: 1, Col: 1},
+		}
+		hier := mem.MustHierarchy(mem.DefaultHierarchy())
+		e, err := NewEngine(cfg, g, pos, brID, mem.NewMemory(), hier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var regs [isa.NumRegs]uint32
+		regs[isa.X10] = 0x100000
+		regs[isa.X7] = 256
+		res, err := e.RunLoop(&regs, LoopOptions{Pipelined: true, Tiles: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.II
+	}
+	iiVec := build(true)
+	iiNo := build(false)
+	if iiVec >= iiNo {
+		t.Errorf("vectorization did not improve II: %.3f vs %.3f", iiVec, iiNo)
+	}
+}

@@ -1,0 +1,221 @@
+package accel
+
+import (
+	"fmt"
+	"math"
+
+	"mesa/internal/dfg"
+	"mesa/internal/isa"
+)
+
+// LoopOptions selects the execution mode for an accelerated loop region.
+type LoopOptions struct {
+	// Pipelined overlaps successive iterations at the steady-state
+	// initiation interval. Only applied to loops annotated as parallel
+	// (MESA does not speculate across iterations, §4.3).
+	Pipelined bool
+
+	// Tiles is the number of duplicated SDFG instances executing
+	// iterations concurrently (spatial tiling, Figure 6). 1 = no tiling.
+	Tiles int
+
+	// MaxIterations bounds execution (0 = no bound).
+	MaxIterations uint64
+}
+
+// LoopResult summarizes an accelerated loop execution.
+type LoopResult struct {
+	Iterations uint64
+
+	// SerialCycles is the sum of per-iteration dataflow latencies: the cost
+	// when the array restarts after each iteration completes (no
+	// pipelining, no tiling).
+	SerialCycles float64
+
+	// TotalCycles is the modeled cost under the requested mode (pipelining
+	// and tiling overlap iterations down to the initiation interval).
+	TotalCycles float64
+
+	// AvgIterCycles is SerialCycles / Iterations (per-iteration latency).
+	AvgIterCycles float64
+
+	// II is the steady-state initiation interval per iteration under the
+	// requested mode (equals AvgIterCycles when fully serialized).
+	II float64
+
+	// Bound names the throughput-limiting resource in pipelined/tiled mode:
+	// "dependence", "memports", or "noc".
+	Bound string
+
+	// Done reports that the loop's closing branch fell through (the loop
+	// finished) rather than execution stopping at MaxIterations.
+	Done bool
+}
+
+// RunLoop executes the mapped loop until its closing branch falls through or
+// MaxIterations is reached, starting from the architectural state in regs
+// (updated in place with live-out values). Functionally, iterations run in
+// program order against the shared memory; timing is assembled from the
+// measured per-iteration behaviour per the selected mode.
+func (e *Engine) RunLoop(regs *[isa.NumRegs]uint32, opts LoopOptions) (*LoopResult, error) {
+	if opts.Tiles <= 0 {
+		opts.Tiles = 1
+	}
+	res := &LoopResult{}
+	for {
+		it, err := e.RunIteration(regs)
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations++
+		res.SerialCycles += it.Cycles
+		if !it.Continue {
+			res.Done = true
+			break
+		}
+		if opts.MaxIterations > 0 && res.Iterations >= opts.MaxIterations {
+			break
+		}
+	}
+	res.AvgIterCycles = res.SerialCycles / float64(res.Iterations)
+	res.II = res.AvgIterCycles
+	res.TotalCycles = res.SerialCycles
+	res.Bound = "serial"
+
+	if opts.Pipelined || opts.Tiles > 1 {
+		ii, bound := e.InitiationInterval(opts)
+		res.II = ii
+		res.Bound = bound
+		if res.Iterations > 1 {
+			res.TotalCycles = res.AvgIterCycles + float64(res.Iterations-1)*ii
+		} else {
+			res.TotalCycles = res.AvgIterCycles
+		}
+	}
+	e.AddElapsed(res.TotalCycles)
+	return res, nil
+}
+
+// InitiationInterval computes the steady-state cycles between successive
+// iteration completions under pipelining and tiling, limited by the
+// cross-iteration dependence recurrence, the shared memory ports, and NoC
+// bandwidth. It uses this engine's measured per-iteration counters.
+func (e *Engine) InitiationInterval(opts LoopOptions) (float64, string) {
+	iters := float64(e.counters.Iterations)
+	if iters == 0 {
+		return 1, "dependence"
+	}
+	tiles := float64(opts.Tiles)
+	if tiles < 1 {
+		tiles = 1
+	}
+
+	// Dependence-recurrence MII: a live-out register consumed as a live-in
+	// of the next iteration closes a cycle through that node. Each tile
+	// runs its own recurrence, so tiling divides the aggregate interval.
+	recMII := 1.0
+	for r, id := range e.g.LiveOut {
+		if !e.liveInUsed(r) {
+			continue
+		}
+		n := e.g.Node(id)
+		lat := e.cfg.EstimateLat(n.Inst)
+		if e.counters.OpLatN[id] > 0 {
+			lat = e.counters.OpLatSum[id] / float64(e.counters.OpLatN[id])
+		}
+		if lat+1 > recMII {
+			recMII = lat + 1 // +1: transfer back to the consumer's input
+		}
+	}
+	depII := recMII / tiles
+
+	// Resource MII: memory ports are shared by all tiles. Forwarded and
+	// coalesced accesses never consumed a port slot.
+	memPerIter := float64(e.counters.Loads+e.counters.Stores-e.counters.Forwarded-e.counters.Coalesced) / iters
+	memII := memPerIter / float64(e.cfg.MemPorts)
+
+	// NoC bandwidth: lanes per row, one transfer per lane per cycle.
+	nocPerIter := float64(e.counters.NoCTransfers) / iters
+	lanes := float64(max(1, e.cfg.NoCLanesPerRow) * e.cfg.Rows)
+	nocII := nocPerIter / lanes
+
+	ii, bound := depII, "dependence"
+	if memII > ii {
+		ii, bound = memII, "memports"
+	}
+	if nocII > ii {
+		ii, bound = nocII, "noc"
+	}
+	// Time-shared units must complete all their occupants each iteration.
+	if e.timeShared && e.maxUnitWork > ii {
+		ii, bound = e.maxUnitWork, "timeshare"
+	}
+	if ii < 1.0/tiles {
+		ii = 1.0 / tiles // at most one iteration completes per tile per cycle
+	}
+	return ii, bound
+}
+
+// liveInUsed reports whether register r is read as a live-in anywhere in
+// the graph (including predication live-ins).
+func (e *Engine) liveInUsed(r isa.Reg) bool {
+	for i := range e.g.Nodes {
+		n := &e.g.Nodes[i]
+		for k := 0; k < 3; k++ {
+			if n.Src[k] == dfg.None && n.LiveIn[k] == r {
+				return true
+			}
+		}
+		if n.PredLiveIn == r {
+			return true
+		}
+	}
+	return false
+}
+
+// Feedback writes the measured per-node operation latencies and per-edge
+// transfer latencies back into the graph's performance model — the
+// counter-driven refinement loop of the paper (F3). It returns the number
+// of node and edge weights updated.
+func (e *Engine) Feedback(g *dfg.Graph) (nodes, edges int, err error) {
+	if g.Len() != e.g.Len() {
+		return 0, 0, fmt.Errorf("accel: feedback graph has %d nodes, engine has %d", g.Len(), e.g.Len())
+	}
+	for i := range g.Nodes {
+		if n := e.counters.OpLatN[i]; n > 0 {
+			measured := e.counters.OpLatSum[i] / float64(n)
+			if math.Abs(measured-g.Nodes[i].OpLat) > 1e-9 {
+				nodes++
+			}
+			g.Nodes[i].OpLat = measured
+		}
+	}
+	for key, sum := range e.counters.EdgeLatSum {
+		n := e.counters.EdgeLatN[key]
+		if n == 0 {
+			continue
+		}
+		from := dfg.NodeID(key >> 32)
+		to := dfg.NodeID(key & 0xFFFFFFFF)
+		g.SetEdgeLatency(from, to, sum/float64(n))
+		edges++
+	}
+	return nodes, edges, nil
+}
+
+// MeasuredAMAT returns the average measured load latency in cycles.
+func (e *Engine) MeasuredAMAT() float64 {
+	var sum float64
+	var n uint64
+	for i := range e.g.Nodes {
+		node := &e.g.Nodes[i]
+		if node.Inst.IsLoad() && !node.Fwd && e.counters.OpLatN[i] > 0 {
+			sum += e.counters.OpLatSum[i] / float64(e.counters.OpLatN[i])
+			n++
+		}
+	}
+	if n == 0 {
+		return e.cfg.LoadLatEstimate
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,246 @@
+// Package alu implements the arithmetic semantics of RV32IMF operations on
+// 32-bit register values. The same functions back the functional simulator,
+// the CPU timing model, and the accelerator's processing elements, so all
+// execution engines in the reproduction compute bit-identical results.
+//
+// Floating-point values are carried as their IEEE-754 single-precision bit
+// patterns in uint32, matching how the register file stores them.
+package alu
+
+import (
+	"fmt"
+	"math"
+
+	"mesa/internal/isa"
+)
+
+// F32 converts a float32 to its bit pattern.
+func F32(f float32) uint32 { return math.Float32bits(f) }
+
+// ToF32 converts a bit pattern to a float32.
+func ToF32(b uint32) float32 { return math.Float32frombits(b) }
+
+// Eval computes the result of a non-memory, non-control operation given its
+// (up to three) source operand values. Operands for absent sources are
+// ignored. For branches, use EvalBranch; for memory, the engines compute the
+// effective address with EffAddr and perform the access themselves.
+func Eval(op isa.Op, a, b, c uint32) (uint32, error) {
+	sa, sb := int32(a), int32(b)
+	switch op {
+	case isa.OpADD, isa.OpADDI:
+		return a + b, nil
+	case isa.OpSUB:
+		return a - b, nil
+	case isa.OpSLL, isa.OpSLLI:
+		return a << (b & 31), nil
+	case isa.OpSLT, isa.OpSLTI:
+		if sa < sb {
+			return 1, nil
+		}
+		return 0, nil
+	case isa.OpSLTU, isa.OpSLTIU:
+		if a < b {
+			return 1, nil
+		}
+		return 0, nil
+	case isa.OpXOR, isa.OpXORI:
+		return a ^ b, nil
+	case isa.OpSRL, isa.OpSRLI:
+		return a >> (b & 31), nil
+	case isa.OpSRA, isa.OpSRAI:
+		return uint32(sa >> (b & 31)), nil
+	case isa.OpOR, isa.OpORI:
+		return a | b, nil
+	case isa.OpAND, isa.OpANDI:
+		return a & b, nil
+	case isa.OpLUI:
+		return b, nil // immediate already holds the shifted value
+	case isa.OpNOP:
+		return 0, nil
+
+	case isa.OpMUL:
+		return uint32(sa * sb), nil
+	case isa.OpMULH:
+		return uint32(uint64(int64(sa)*int64(sb)) >> 32), nil
+	case isa.OpMULHSU:
+		return uint32(uint64(int64(sa)*int64(uint64(b))) >> 32), nil
+	case isa.OpMULHU:
+		return uint32(uint64(a) * uint64(b) >> 32), nil
+	case isa.OpDIV:
+		switch {
+		case b == 0:
+			return 0xFFFFFFFF, nil
+		case a == 0x80000000 && b == 0xFFFFFFFF:
+			return 0x80000000, nil
+		}
+		return uint32(sa / sb), nil
+	case isa.OpDIVU:
+		if b == 0 {
+			return 0xFFFFFFFF, nil
+		}
+		return a / b, nil
+	case isa.OpREM:
+		switch {
+		case b == 0:
+			return a, nil
+		case a == 0x80000000 && b == 0xFFFFFFFF:
+			return 0, nil
+		}
+		return uint32(sa % sb), nil
+	case isa.OpREMU:
+		if b == 0 {
+			return a, nil
+		}
+		return a % b, nil
+
+	case isa.OpFADDS:
+		return F32(ToF32(a) + ToF32(b)), nil
+	case isa.OpFSUBS:
+		return F32(ToF32(a) - ToF32(b)), nil
+	case isa.OpFMULS:
+		return F32(ToF32(a) * ToF32(b)), nil
+	case isa.OpFDIVS:
+		return F32(ToF32(a) / ToF32(b)), nil
+	case isa.OpFSQRTS:
+		return F32(float32(math.Sqrt(float64(ToF32(a))))), nil
+	case isa.OpFMINS:
+		return F32(fmin(ToF32(a), ToF32(b))), nil
+	case isa.OpFMAXS:
+		return F32(fmax(ToF32(a), ToF32(b))), nil
+	case isa.OpFMADDS:
+		return F32(ToF32(a)*ToF32(b) + ToF32(c)), nil
+	case isa.OpFMSUBS:
+		return F32(ToF32(a)*ToF32(b) - ToF32(c)), nil
+	case isa.OpFNMADDS:
+		return F32(-(ToF32(a) * ToF32(b)) - ToF32(c)), nil
+	case isa.OpFNMSUBS:
+		return F32(-(ToF32(a) * ToF32(b)) + ToF32(c)), nil
+
+	case isa.OpFCVTWS:
+		return uint32(int32(clampF64(float64(ToF32(a)), math.MinInt32, math.MaxInt32))), nil
+	case isa.OpFCVTWUS:
+		return uint32(clampF64(float64(ToF32(a)), 0, math.MaxUint32)), nil
+	case isa.OpFCVTSW:
+		return F32(float32(int32(a))), nil
+	case isa.OpFCVTSWU:
+		return F32(float32(a)), nil
+	case isa.OpFMVXW, isa.OpFMVWX:
+		return a, nil
+	case isa.OpFSGNJS:
+		return a&0x7FFFFFFF | b&0x80000000, nil
+	case isa.OpFSGNJNS:
+		return a&0x7FFFFFFF | ^b&0x80000000, nil
+	case isa.OpFSGNJXS:
+		return a ^ b&0x80000000, nil
+	case isa.OpFEQS:
+		if ToF32(a) == ToF32(b) {
+			return 1, nil
+		}
+		return 0, nil
+	case isa.OpFLTS:
+		if ToF32(a) < ToF32(b) {
+			return 1, nil
+		}
+		return 0, nil
+	case isa.OpFLES:
+		if ToF32(a) <= ToF32(b) {
+			return 1, nil
+		}
+		return 0, nil
+	case isa.OpFCLASSS:
+		return fclass(ToF32(a)), nil
+	}
+	return 0, fmt.Errorf("alu: cannot evaluate %v", op)
+}
+
+// EvalBranch reports whether a conditional branch is taken given its two
+// source operand values.
+func EvalBranch(op isa.Op, a, b uint32) (bool, error) {
+	sa, sb := int32(a), int32(b)
+	switch op {
+	case isa.OpBEQ:
+		return a == b, nil
+	case isa.OpBNE:
+		return a != b, nil
+	case isa.OpBLT:
+		return sa < sb, nil
+	case isa.OpBGE:
+		return sa >= sb, nil
+	case isa.OpBLTU:
+		return a < b, nil
+	case isa.OpBGEU:
+		return a >= b, nil
+	}
+	return false, fmt.Errorf("alu: %v is not a branch", op)
+}
+
+// EffAddr computes the effective address of a load or store.
+func EffAddr(base uint32, imm int32) uint32 { return base + uint32(imm) }
+
+func fmin(a, b float32) float32 {
+	switch {
+	case isNaN32(a):
+		return b
+	case isNaN32(b):
+		return a
+	case a < b:
+		return a
+	}
+	return b
+}
+
+func fmax(a, b float32) float32 {
+	switch {
+	case isNaN32(a):
+		return b
+	case isNaN32(b):
+		return a
+	case a > b:
+		return a
+	}
+	return b
+}
+
+func isNaN32(f float32) bool { return f != f }
+
+func clampF64(v, lo, hi float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return hi
+	case v < lo:
+		return lo
+	case v > hi:
+		return hi
+	}
+	return v
+}
+
+// fclass implements the RISC-V FCLASS.S result mask.
+func fclass(f float32) uint32 {
+	bits := F32(f)
+	sign := bits>>31 == 1
+	exp := bits >> 23 & 0xFF
+	frac := bits & 0x7FFFFF
+	switch {
+	case exp == 0xFF && frac != 0:
+		if frac>>22 == 1 {
+			return 1 << 9 // quiet NaN
+		}
+		return 1 << 8 // signaling NaN
+	case exp == 0xFF && sign:
+		return 1 << 0 // -inf
+	case exp == 0xFF:
+		return 1 << 7 // +inf
+	case exp == 0 && frac == 0 && sign:
+		return 1 << 3 // -0
+	case exp == 0 && frac == 0:
+		return 1 << 4 // +0
+	case exp == 0 && sign:
+		return 1 << 2 // negative subnormal
+	case exp == 0:
+		return 1 << 5 // positive subnormal
+	case sign:
+		return 1 << 1 // negative normal
+	}
+	return 1 << 6 // positive normal
+}

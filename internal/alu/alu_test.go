@@ -1,0 +1,291 @@
+package alu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mesa/internal/isa"
+)
+
+func su(x int32) uint32 { return uint32(x) }
+
+func eval(t *testing.T, op isa.Op, a, b uint32) uint32 {
+	t.Helper()
+	v, err := Eval(op, a, b, 0)
+	if err != nil {
+		t.Fatalf("Eval(%v): %v", op, err)
+	}
+	return v
+}
+
+func TestIntegerOps(t *testing.T) {
+	cases := []struct {
+		op      isa.Op
+		a, b, w uint32
+	}{
+		{isa.OpADD, 3, 4, 7},
+		{isa.OpADD, 0xFFFFFFFF, 1, 0},
+		{isa.OpSUB, 3, 4, 0xFFFFFFFF},
+		{isa.OpSLL, 1, 31, 0x80000000},
+		{isa.OpSLL, 1, 33, 2}, // shift amount masked to 5 bits
+		{isa.OpSRL, 0x80000000, 31, 1},
+		{isa.OpSRA, 0x80000000, 31, 0xFFFFFFFF},
+		{isa.OpSLT, su(-1), 0, 1},
+		{isa.OpSLTU, 0xFFFFFFFF, 0, 0},
+		{isa.OpXOR, 0xF0F0, 0x0FF0, 0xFF00},
+		{isa.OpOR, 0xF000, 0x000F, 0xF00F},
+		{isa.OpAND, 0xFF00, 0x0FF0, 0x0F00},
+		{isa.OpMUL, 7, 6, 42},
+		{isa.OpMUL, 0xFFFFFFFF, 0xFFFFFFFF, 1}, // (-1)*(-1)
+		{isa.OpMULHU, 0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFE},
+		{isa.OpMULH, 0xFFFFFFFF, 0xFFFFFFFF, 0}, // (-1)*(-1) high bits
+		{isa.OpDIV, su(-7), 2, su(-3)},
+		{isa.OpDIVU, 7, 2, 3},
+		{isa.OpREM, su(-7), 2, su(-1)},
+		{isa.OpREMU, 7, 2, 1},
+	}
+	for _, c := range cases {
+		if got := eval(t, c.op, c.a, c.b); got != c.w {
+			t.Errorf("%v(%#x, %#x) = %#x, want %#x", c.op, c.a, c.b, got, c.w)
+		}
+	}
+}
+
+func TestDivisionEdgeCases(t *testing.T) {
+	// RISC-V defines division by zero and signed overflow without traps.
+	if got := eval(t, isa.OpDIV, 5, 0); got != 0xFFFFFFFF {
+		t.Errorf("div by zero = %#x, want all ones", got)
+	}
+	if got := eval(t, isa.OpDIVU, 5, 0); got != 0xFFFFFFFF {
+		t.Errorf("divu by zero = %#x", got)
+	}
+	if got := eval(t, isa.OpREM, 5, 0); got != 5 {
+		t.Errorf("rem by zero = %d, want dividend", got)
+	}
+	if got := eval(t, isa.OpDIV, 0x80000000, 0xFFFFFFFF); got != 0x80000000 {
+		t.Errorf("INT_MIN / -1 = %#x, want INT_MIN", got)
+	}
+	if got := eval(t, isa.OpREM, 0x80000000, 0xFFFFFFFF); got != 0 {
+		t.Errorf("INT_MIN %% -1 = %#x, want 0", got)
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	f := func(x float32) uint32 { return F32(x) }
+	cases := []struct {
+		op   isa.Op
+		a, b float32
+		want float32
+	}{
+		{isa.OpFADDS, 1.5, 2.25, 3.75},
+		{isa.OpFSUBS, 1.5, 2.25, -0.75},
+		{isa.OpFMULS, 3, 0.5, 1.5},
+		{isa.OpFDIVS, 1, 4, 0.25},
+		{isa.OpFMINS, -1, 2, -1},
+		{isa.OpFMAXS, -1, 2, 2},
+	}
+	for _, c := range cases {
+		if got := eval(t, c.op, f(c.a), f(c.b)); got != f(c.want) {
+			t.Errorf("%v(%g,%g) = %g, want %g", c.op, c.a, c.b, ToF32(got), c.want)
+		}
+	}
+	if got := eval(t, isa.OpFSQRTS, f(9), 0); ToF32(got) != 3 {
+		t.Errorf("sqrt(9) = %g", ToF32(got))
+	}
+	got, err := Eval(isa.OpFMADDS, f(2), f(3), f(4))
+	if err != nil || ToF32(got) != 10 {
+		t.Errorf("fmadd(2,3,4) = %g, %v", ToF32(got), err)
+	}
+	got, err = Eval(isa.OpFNMSUBS, f(2), f(3), f(4))
+	if err != nil || ToF32(got) != -2 {
+		t.Errorf("fnmsub(2,3,4) = %g, %v", ToF32(got), err)
+	}
+}
+
+func TestFPCompareAndConvert(t *testing.T) {
+	one, two := F32(1), F32(2)
+	if eval(t, isa.OpFLTS, one, two) != 1 || eval(t, isa.OpFLTS, two, one) != 0 {
+		t.Error("flt.s broken")
+	}
+	if eval(t, isa.OpFLES, one, one) != 1 {
+		t.Error("fle.s broken")
+	}
+	if eval(t, isa.OpFEQS, one, one) != 1 || eval(t, isa.OpFEQS, one, two) != 0 {
+		t.Error("feq.s broken")
+	}
+	if got := eval(t, isa.OpFCVTWS, F32(-3.7), 0); int32(got) != -3 {
+		t.Errorf("fcvt.w.s(-3.7) = %d, want -3 (truncation)", int32(got))
+	}
+	if got := eval(t, isa.OpFCVTSW, su(-5), 0); ToF32(got) != -5 {
+		t.Errorf("fcvt.s.w(-5) = %g", ToF32(got))
+	}
+	nan := F32(float32(math.NaN()))
+	if got := eval(t, isa.OpFMINS, nan, two); ToF32(got) != 2 {
+		t.Error("fmin with NaN should return the other operand")
+	}
+}
+
+func TestSignInjection(t *testing.T) {
+	pos, neg := F32(1.5), F32(-2.5)
+	if got := eval(t, isa.OpFSGNJS, pos, neg); ToF32(got) != -1.5 {
+		t.Errorf("fsgnj = %g", ToF32(got))
+	}
+	if got := eval(t, isa.OpFSGNJNS, neg, neg); ToF32(got) != 2.5 {
+		t.Errorf("fsgnjn = %g", ToF32(got))
+	}
+	if got := eval(t, isa.OpFSGNJXS, neg, neg); ToF32(got) != 2.5 {
+		t.Errorf("fsgnjx = %g", ToF32(got))
+	}
+}
+
+func TestEvalBranch(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		a, b uint32
+		want bool
+	}{
+		{isa.OpBEQ, 5, 5, true},
+		{isa.OpBNE, 5, 5, false},
+		{isa.OpBLT, su(-1), 0, true},
+		{isa.OpBGE, su(-1), 0, false},
+		{isa.OpBLTU, 0xFFFFFFFF, 0, false},
+		{isa.OpBGEU, 0xFFFFFFFF, 0, true},
+	}
+	for _, c := range cases {
+		got, err := EvalBranch(c.op, c.a, c.b)
+		if err != nil || got != c.want {
+			t.Errorf("%v(%#x,%#x) = %v, %v", c.op, c.a, c.b, got, err)
+		}
+	}
+	if _, err := EvalBranch(isa.OpADD, 0, 0); err == nil {
+		t.Error("EvalBranch should reject non-branches")
+	}
+}
+
+func TestFClass(t *testing.T) {
+	cases := []struct {
+		v    float32
+		want uint32
+	}{
+		{float32(math.Inf(-1)), 1 << 0},
+		{-1.5, 1 << 1},
+		{float32(math.Copysign(0, -1)), 1 << 3},
+		{0, 1 << 4},
+		{1.5, 1 << 6},
+		{float32(math.Inf(1)), 1 << 7},
+	}
+	for _, c := range cases {
+		if got := eval(t, isa.OpFCLASSS, F32(c.v), 0); got != c.want {
+			t.Errorf("fclass(%g) = %#x, want %#x", c.v, got, c.want)
+		}
+	}
+}
+
+// Property: ADD/SUB are inverses, XOR is self-inverse, MUL commutes.
+func TestAlgebraicProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(2))}
+	addSub := func(a, b uint32) bool {
+		s := eval(t, isa.OpADD, a, b)
+		return eval(t, isa.OpSUB, s, b) == a
+	}
+	if err := quick.Check(addSub, cfg); err != nil {
+		t.Errorf("add/sub inverse: %v", err)
+	}
+	xorInv := func(a, b uint32) bool {
+		return eval(t, isa.OpXOR, eval(t, isa.OpXOR, a, b), b) == a
+	}
+	if err := quick.Check(xorInv, cfg); err != nil {
+		t.Errorf("xor self-inverse: %v", err)
+	}
+	mulComm := func(a, b uint32) bool {
+		return eval(t, isa.OpMUL, a, b) == eval(t, isa.OpMUL, b, a)
+	}
+	if err := quick.Check(mulComm, cfg); err != nil {
+		t.Errorf("mul commutativity: %v", err)
+	}
+	divRem := func(a, b uint32) bool {
+		if b == 0 {
+			return true
+		}
+		q := eval(t, isa.OpDIVU, a, b)
+		r := eval(t, isa.OpREMU, a, b)
+		return q*b+r == a && r < b
+	}
+	if err := quick.Check(divRem, cfg); err != nil {
+		t.Errorf("divu/remu identity: %v", err)
+	}
+}
+
+func TestRemainingConversions(t *testing.T) {
+	// Unsigned conversions.
+	if got := eval(t, isa.OpFCVTWUS, F32(3.9), 0); got != 3 {
+		t.Errorf("fcvt.wu.s(3.9) = %d", got)
+	}
+	if got := eval(t, isa.OpFCVTWUS, F32(-1), 0); got != 0 {
+		t.Errorf("fcvt.wu.s(-1) = %d, want clamp to 0", got)
+	}
+	if got := eval(t, isa.OpFCVTSWU, 3_000_000_000, 0); ToF32(got) != 3e9 {
+		t.Errorf("fcvt.s.wu = %g", ToF32(got))
+	}
+	// Saturation on overflow and NaN.
+	if got := eval(t, isa.OpFCVTWS, F32(1e20), 0); int32(got) != math.MaxInt32 {
+		t.Errorf("fcvt.w.s(1e20) = %d, want saturate", int32(got))
+	}
+	nan := F32(float32(math.NaN()))
+	if got := eval(t, isa.OpFCVTWS, nan, 0); int32(got) != math.MaxInt32 {
+		t.Errorf("fcvt.w.s(NaN) = %d", int32(got))
+	}
+	// Moves preserve bits.
+	if got := eval(t, isa.OpFMVXW, 0xDEADBEEF, 0); got != 0xDEADBEEF {
+		t.Error("fmv.x.w changed bits")
+	}
+	if got := eval(t, isa.OpFMVWX, 0xDEADBEEF, 0); got != 0xDEADBEEF {
+		t.Error("fmv.w.x changed bits")
+	}
+}
+
+func TestMULHSU(t *testing.T) {
+	// (-1 signed) * (2^32-1 unsigned): high word of -(2^32-1).
+	got := eval(t, isa.OpMULHSU, su(-1), 0xFFFFFFFF)
+	prod := int64(-1) * int64(0xFFFFFFFF)
+	want := uint32(uint64(prod) >> 32)
+	if got != want {
+		t.Errorf("mulhsu = %#x, want %#x", got, want)
+	}
+}
+
+func TestFClassEdges(t *testing.T) {
+	// Subnormals and NaN classes.
+	sub := uint32(1) // smallest positive subnormal
+	if got := eval(t, isa.OpFCLASSS, sub, 0); got != 1<<5 {
+		t.Errorf("fclass(+subnormal) = %#x", got)
+	}
+	if got := eval(t, isa.OpFCLASSS, sub|0x80000000, 0); got != 1<<2 {
+		t.Errorf("fclass(-subnormal) = %#x", got)
+	}
+	quiet := F32(float32(math.NaN()))
+	if got := eval(t, isa.OpFCLASSS, quiet, 0); got != 1<<9 {
+		t.Errorf("fclass(qNaN) = %#x", got)
+	}
+	sig := uint32(0x7F800001) // signaling NaN pattern
+	if got := eval(t, isa.OpFCLASSS, sig, 0); got != 1<<8 {
+		t.Errorf("fclass(sNaN) = %#x", got)
+	}
+}
+
+func TestEvalRejectsNonALUOps(t *testing.T) {
+	for _, op := range []isa.Op{isa.OpLW, isa.OpSW, isa.OpBEQ, isa.OpJAL, isa.OpECALL} {
+		if _, err := Eval(op, 0, 0, 0); err == nil {
+			t.Errorf("Eval(%v) should fail", op)
+		}
+	}
+}
+
+func TestFMinMaxNaNBothSides(t *testing.T) {
+	nan := F32(float32(math.NaN()))
+	if got := eval(t, isa.OpFMAXS, F32(2), nan); ToF32(got) != 2 {
+		t.Error("fmax(x, NaN) should return x")
+	}
+}

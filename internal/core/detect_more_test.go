@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"mesa/internal/asm"
+	"mesa/internal/mem"
+	"mesa/internal/sim"
+)
+
+// detectOn runs a program with an attached detector until it halts and
+// returns the first region plus the detector.
+func detectOn(t *testing.T, src string, cfg DetectorConfig) (*Region, *Detector) {
+	t.Helper()
+	prog, err := asm.Assemble(0x1000, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDetector(prog, cfg)
+	machine := sim.New(prog, mem.NewMemory())
+	var region *Region
+	machine.Attach(tracerFunc(func(ev sim.Event) {
+		if region == nil {
+			if r := d.Observe(ev); r != nil {
+				region = r
+			}
+		}
+	}))
+	if _, err := machine.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return region, d
+}
+
+type tracerFunc func(sim.Event)
+
+func (f tracerFunc) Trace(ev sim.Event) { f(ev) }
+
+func TestDetectorRejectsMemoryHeavyLoop(t *testing.T) {
+	// 7 loads out of 9 instructions: memFrac ≈ 0.78 > the 0.75 threshold.
+	src := `
+	li t0, 0
+	li t1, 64
+	li a0, 0x100000
+loop:
+	lw x8, 0(a0)
+	lw x9, 4(a0)
+	lw x18, 8(a0)
+	lw x19, 12(a0)
+	lw x20, 16(a0)
+	lw x21, 20(a0)
+	lw x22, 24(a0)
+	addi t0, t0, 1
+	blt t0, t1, loop
+	ecall
+`
+	region, d := detectOn(t, src, DefaultDetectorConfig(128))
+	if region != nil {
+		t.Fatalf("memory-heavy loop detected (memFrac %.2f)", region.Mix.MemFrac())
+	}
+	if d.Rejections[RejectMemHeavy] == 0 {
+		t.Errorf("rejections = %v, want C3 mem-heavy", d.Rejections)
+	}
+}
+
+func TestDetectorNeedsStability(t *testing.T) {
+	// A loop that runs only twice never reaches StableIterations=3.
+	src := `
+	li t0, 0
+	li t1, 2
+loop:
+	addi t0, t0, 1
+	blt t0, t1, loop
+	ecall
+`
+	region, _ := detectOn(t, src, DefaultDetectorConfig(128))
+	if region != nil {
+		t.Fatal("2-iteration loop should not be detected with StableIterations=3")
+	}
+}
+
+func TestDetectorAcceptsCleanLoop(t *testing.T) {
+	src := `
+	li t0, 0
+	li t1, 64
+loop:
+	add x8, x8, x9
+	addi t0, t0, 1
+	blt t0, t1, loop
+	ecall
+`
+	region, _ := detectOn(t, src, DefaultDetectorConfig(128))
+	if region == nil {
+		t.Fatal("clean loop not detected")
+	}
+	if region.Len() != 3 {
+		t.Errorf("region length = %d, want 3", region.Len())
+	}
+	if region.Mix.Compute != 2 || region.Mix.Control != 1 {
+		t.Errorf("mix = %+v", region.Mix)
+	}
+	if region.ObservedIterations < 3 {
+		t.Errorf("observed iterations = %d", region.ObservedIterations)
+	}
+}
+
+func TestDetectorDoesNotRedetectRejected(t *testing.T) {
+	// A loop with a CSR access: C2 rejects it exactly once; the rejected
+	// map prevents re-evaluation on every subsequent iteration.
+	src := `
+	li t0, 0
+	li t1, 64
+loop:
+	csrrs x8, x0, 0x301
+	addi t0, t0, 1
+	blt t0, t1, loop
+	ecall
+`
+	region, d := detectOn(t, src, DefaultDetectorConfig(128))
+	if region != nil {
+		t.Fatal("loop with CSR access detected")
+	}
+	if got := d.Rejections[RejectSystemInst]; got != 1 {
+		t.Errorf("system rejections = %d, want exactly 1 (no re-detection)", got)
+	}
+}
+
+func TestDetectorC1SizeGate(t *testing.T) {
+	// A 3-instruction loop against a 2-instruction capacity: C1 rejection.
+	src := `
+	li t0, 0
+	li t1, 64
+loop:
+	add x8, x8, x9
+	addi t0, t0, 1
+	blt t0, t1, loop
+	ecall
+`
+	cfg := DefaultDetectorConfig(2)
+	region, d := detectOn(t, src, cfg)
+	if region != nil {
+		t.Fatal("oversized loop detected")
+	}
+	if d.Rejections[RejectTooLarge] == 0 {
+		t.Errorf("rejections = %v, want C1", d.Rejections)
+	}
+}

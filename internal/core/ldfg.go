@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+
+	"mesa/internal/dfg"
+	"mesa/internal/isa"
+	"mesa/internal/mem"
+)
+
+// OpLatencyFunc estimates the execution latency of an instruction on the
+// target backend (node weights in the first LDFG build, before measured
+// values exist).
+type OpLatencyFunc func(in isa.Inst) float64
+
+// LDFG is the Logical Dataflow Graph: the DFG stored in program order
+// (analogous to a reorder buffer), produced by task T1 of the paper. It
+// carries the region's loop-control information alongside the graph.
+type LDFG struct {
+	Graph *dfg.Graph
+
+	// LoopBranch is the node of the loop-closing backward branch, or
+	// dfg.None when the region has none (straight-line region).
+	LoopBranch dfg.NodeID
+
+	// Inductions lists nodes of the form rd = rd + imm where rd is live-in:
+	// the loop induction updates, used for iteration-count estimation and
+	// next-iteration prefetching (§4.2).
+	Inductions []dfg.NodeID
+
+	// Forwarded counts loads satisfied by static store-to-load forwarding.
+	Forwarded int
+}
+
+type storeRecord struct {
+	node     dfg.NodeID
+	baseProd dfg.NodeID // producer of the base address register
+	baseLive isa.Reg    // live-in base register when baseProd is None
+	offset   int32
+	width    uint32
+	dataProd dfg.NodeID // producer of the stored value
+	dataLive isa.Reg
+	ctrl     dfg.NodeID // predication context of the store
+}
+
+// newNode returns a Node with all dependency slots cleared.
+func newNode(in isa.Inst, lat float64) dfg.Node {
+	return dfg.Node{
+		Inst:       in,
+		OpLat:      lat,
+		Src:        [3]dfg.NodeID{dfg.None, dfg.None, dfg.None},
+		LiveIn:     [3]isa.Reg{isa.RegNone, isa.RegNone, isa.RegNone},
+		MemDep:     dfg.None,
+		PredDep:    dfg.None,
+		PredLiveIn: isa.RegNone,
+		CtrlDep:    dfg.None,
+	}
+}
+
+// LDFGOptions tunes LDFG construction (ablation knobs).
+type LDFGOptions struct {
+	// DisableForwarding turns off static store-to-load forwarding; exact
+	// store/load pairs then go through the LSU like any other access.
+	DisableForwarding bool
+}
+
+// BuildLDFG translates a code region (the instructions of one loop body, in
+// program order, including the closing backward branch if present) into the
+// Logical DFG. Renaming maps every architectural source register to the last
+// node writing it; forward-branch shadows add control and hidden
+// predication dependencies; exact store-to-load pairs become forwarding
+// edges.
+func BuildLDFG(insts []isa.Inst, opLat OpLatencyFunc) (*LDFG, error) {
+	return BuildLDFGOpts(insts, opLat, LDFGOptions{})
+}
+
+// BuildLDFGOpts is BuildLDFG with explicit options.
+func BuildLDFGOpts(insts []isa.Inst, opLat OpLatencyFunc, opts LDFGOptions) (*LDFG, error) {
+	if len(insts) == 0 {
+		return nil, fmt.Errorf("core: empty region")
+	}
+	g := dfg.NewGraph()
+	table := NewRenameTable()
+	l := &LDFG{Graph: g, LoopBranch: dfg.None}
+
+	// Pre-compute forward-branch shadow extents (by instruction index).
+	type shadow struct {
+		branch dfg.NodeID
+		end    int // first index past the shadowed range
+	}
+	var active []shadow
+	var stores []storeRecord
+
+	base := insts[0].Addr
+	idxOf := func(addr uint32) int { return int(addr-base) / 4 }
+
+	for i, in := range insts {
+		// Retire shadows that end at or before this instruction.
+		for len(active) > 0 && active[len(active)-1].end <= i {
+			active = active[:len(active)-1]
+		}
+
+		n := newNode(in, opLat(in))
+		if len(active) > 0 {
+			n.CtrlDep = active[len(active)-1].branch
+		}
+
+		// Rename sources.
+		srcs := in.Sources()
+		for k, r := range srcs {
+			if r == isa.RegNone {
+				continue
+			}
+			if p := table.Producer(r); p != dfg.None {
+				n.Src[k] = p
+			} else {
+				n.LiveIn[k] = r
+			}
+		}
+
+		// Hidden predication dependency for destination writers in a shadow.
+		if rd, ok := in.Dest(); ok && n.CtrlDep != dfg.None {
+			if p := table.Producer(rd); p != dfg.None {
+				n.PredDep = p
+			} else {
+				n.PredLiveIn = rd
+			}
+		}
+
+		// Memory handling: static disambiguation plus store-to-load
+		// forwarding for exact matches. Dynamic disambiguation of the
+		// remaining pairs is the LSU's job.
+		if in.IsLoad() || in.IsStore() {
+			baseProd := table.Producer(in.Rs1)
+			baseLive := isa.RegNone
+			if baseProd == dfg.None {
+				baseLive = in.Rs1
+			}
+			width := mem.AccessBytes(in.Op)
+
+			if in.IsLoad() {
+				for s := len(stores) - 1; s >= 0; s-- {
+					st := stores[s]
+					sameBase := st.baseProd == baseProd && st.baseLive == baseLive
+					if !sameBase {
+						// Different base identity: the LSU disambiguates at
+						// runtime; no static edge.
+						continue
+					}
+					if st.offset == in.Imm && st.width == width && width == 4 &&
+						st.ctrl == n.CtrlDep && !opts.DisableForwarding {
+						// Exact match in the same predication context:
+						// forward the stored value, eliding the access.
+						n.Fwd = true
+						n.Src[1] = st.dataProd
+						n.LiveIn[1] = st.dataLive
+						n.MemDep = dfg.None
+						l.Forwarded++
+						break
+					}
+					if rangesOverlap(st.offset, st.width, in.Imm, width) {
+						// Same base, overlapping bytes, inexact: order after
+						// the store.
+						n.MemDep = st.node
+						break
+					}
+					// Same base, provably disjoint: keep scanning older
+					// stores.
+				}
+			}
+			_ = baseLive
+		}
+
+		id := g.Add(n)
+
+		if in.IsStore() {
+			dataProd := table.Producer(in.Rs2)
+			dataLive := isa.RegNone
+			if dataProd == dfg.None {
+				dataLive = in.Rs2
+			}
+			baseProd := table.Producer(in.Rs1)
+			baseLive := isa.RegNone
+			if baseProd == dfg.None {
+				baseLive = in.Rs1
+			}
+			stores = append(stores, storeRecord{
+				node: id, baseProd: baseProd, baseLive: baseLive,
+				offset: in.Imm, width: mem.AccessBytes(in.Op),
+				dataProd: dataProd, dataLive: dataLive,
+				ctrl: g.Node(id).CtrlDep,
+			})
+		}
+
+		// Register writes update the rename table after the instruction is
+		// numbered (its consumers rename to this node).
+		if rd, ok := in.Dest(); ok {
+			// Induction detection: rd = rd + imm with rd live-in or fed by
+			// the previous induction update of the same register.
+			if in.Op == isa.OpADDI && in.Rs1 == rd && table.Producer(rd) == dfg.None {
+				l.Inductions = append(l.Inductions, id)
+			}
+			table.Write(rd, id)
+		}
+
+		// Control instructions: record shadows and the loop branch.
+		if in.IsBranch() {
+			if in.Imm > 0 {
+				end := idxOf(in.BranchTarget())
+				if end > i+1 && end <= len(insts) {
+					active = append(active, shadow{branch: id, end: end})
+				}
+			} else if i == len(insts)-1 {
+				l.LoopBranch = id
+			}
+		}
+	}
+
+	g.LiveOut = table.Snapshot()
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("core: LDFG invalid: %w", err)
+	}
+	return l, nil
+}
+
+func rangesOverlap(aOff int32, aW uint32, bOff int32, bW uint32) bool {
+	return aOff < bOff+int32(bW) && bOff < aOff+int32(aW)
+}

@@ -1,0 +1,64 @@
+// Package core implements the MESA controller — the paper's primary
+// contribution. It monitors a CPU's retired-instruction stream for
+// accelerable loops (§4.1, criteria C1–C3), translates a detected region
+// into the Logical DFG via instruction renaming (§3.2), spatially maps the
+// LDFG onto an accelerator backend with the greedy latency-minimizing
+// Algorithm 1 to form the Spatial DFG (§3.3), emits the accelerator
+// configuration (§4.3), and iteratively re-optimizes the mapping from
+// measured performance counters.
+package core
+
+import (
+	"mesa/internal/dfg"
+	"mesa/internal/isa"
+)
+
+// RenameTable generalizes out-of-order register renaming: architectural
+// registers are renamed to the instruction (LDFG node) that last wrote them.
+// There are as many "physical registers" as instructions, mirroring a
+// spatial accelerator where every PE produces its own output (paper §3.2).
+type RenameTable struct {
+	producer [isa.NumRegs]dfg.NodeID
+}
+
+// NewRenameTable returns a table with every register unmapped (live-in).
+func NewRenameTable() *RenameTable {
+	t := &RenameTable{}
+	t.Reset()
+	return t
+}
+
+// Reset unmaps every register.
+func (t *RenameTable) Reset() {
+	for i := range t.producer {
+		t.producer[i] = dfg.None
+	}
+}
+
+// Producer returns the node that last wrote r, or dfg.None when the value is
+// live-in to the region.
+func (t *RenameTable) Producer(r isa.Reg) dfg.NodeID {
+	if r == isa.RegNone || r == isa.X0 {
+		return dfg.None
+	}
+	return t.producer[r]
+}
+
+// Write records node id as the latest producer of register r.
+func (t *RenameTable) Write(r isa.Reg, id dfg.NodeID) {
+	if r == isa.RegNone || r == isa.X0 {
+		return
+	}
+	t.producer[r] = id
+}
+
+// Snapshot copies the table's current mapping for all written registers.
+func (t *RenameTable) Snapshot() map[isa.Reg]dfg.NodeID {
+	out := make(map[isa.Reg]dfg.NodeID)
+	for r, id := range t.producer {
+		if id != dfg.None {
+			out[isa.Reg(r)] = id
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"mesa/internal/alu"
+	"mesa/internal/dfg"
+	"mesa/internal/isa"
+)
+
+// EstimateTripCount implements the second half of criterion C3 (§4.1):
+// "MESA makes an estimate of the loop's expected iteration count based on
+// the branch condition and PC trace." Given the LDFG and the architectural
+// register values at loop entry, it recognizes the canonical induction
+// pattern — the loop branch comparing a register advanced by a constant
+// step per iteration against a loop-invariant bound — and solves for the
+// remaining iterations.
+//
+// Returns (count, true) on success; (0, false) when the loop's exit
+// condition is data-dependent (e.g. a moving bound or a comparison between
+// two updated registers), in which case the caller falls back to the
+// observed-iterations heuristic.
+func EstimateTripCount(l *LDFG, regs *[isa.NumRegs]uint32) (uint64, bool) {
+	if l.LoopBranch == dfg.None {
+		return 0, false
+	}
+	g := l.Graph
+	br := g.Node(l.LoopBranch)
+	if !br.Inst.IsBranch() {
+		return 0, false
+	}
+
+	// Classify each branch operand: an induction value (register updated by
+	// rd = rd + imm each iteration) or a loop-invariant live-in.
+	type side struct {
+		induction bool
+		reg       isa.Reg
+		step      int32
+		value     uint32
+		ok        bool
+	}
+	classify := func(src dfg.NodeID, liveIn isa.Reg) side {
+		switch {
+		case src != dfg.None:
+			n := g.Node(src)
+			// The branch usually consumes the induction update directly.
+			if n.Inst.Op == isa.OpADDI && n.Inst.Rs1 == n.Inst.Rd {
+				rd := n.Inst.Rd
+				// The register must be carried to the next iteration by
+				// this same node.
+				if g.LiveOut[rd] == src {
+					return side{induction: true, reg: rd, step: n.Inst.Imm,
+						value: regs[rd], ok: true}
+				}
+			}
+			return side{}
+		case liveIn != isa.RegNone:
+			// Loop-invariant only if nothing in the region writes it.
+			if _, written := g.LiveOut[liveIn]; written {
+				return side{}
+			}
+			v := uint32(0)
+			if liveIn != isa.X0 {
+				v = regs[liveIn]
+			}
+			return side{reg: liveIn, value: v, ok: true}
+		}
+		return side{}
+	}
+
+	s1 := classify(br.Src[0], br.LiveIn[0])
+	s2 := classify(br.Src[1], br.LiveIn[1])
+	if !s1.ok || !s2.ok {
+		return 0, false
+	}
+
+	// Normalize to (induction, bound).
+	ind, bound := s1, s2
+	if !ind.induction {
+		ind, bound = s2, s1
+	}
+	if !ind.induction || bound.induction || ind.step == 0 {
+		return 0, false
+	}
+
+	// The loop continues while the branch is taken; count evaluations until
+	// it first falls through. cur is the induction value at the first branch
+	// evaluation after entry.
+	cur := int64(int32(ind.value)) + int64(ind.step)
+	bnd := bound.value
+	step := int64(ind.step)
+	op := br.Inst.Op
+	indIsFirst := s1.induction
+
+	evalTaken := func(v int64) (bool, bool) {
+		var a, b uint32
+		if indIsFirst {
+			a, b = uint32(v), bnd
+		} else {
+			a, b = bnd, uint32(v)
+		}
+		t, err := alu.EvalBranch(op, a, b)
+		return t, err == nil
+	}
+
+	// Fast closed form for the canonical counted loop: blt ind, bound with a
+	// positive step.
+	if indIsFirst && op == isa.OpBLT && step > 0 {
+		b := int64(int32(bnd))
+		if cur >= b {
+			return 1, true
+		}
+		return uint64((b-cur+step-1)/step) + 1, true
+	}
+
+	// General case: walk the induction sequence (bounded; returns false if
+	// the loop does not provably terminate within the cap).
+	const walkCap = 1 << 20
+	v := cur
+	for i := uint64(1); i <= walkCap; i++ {
+		t, ok := evalTaken(v)
+		if !ok {
+			return 0, false
+		}
+		if !t {
+			return i, true
+		}
+		v += step
+	}
+	return 0, false
+}

@@ -1,0 +1,70 @@
+package cpu
+
+import "fmt"
+
+// MulticoreConfig models the paper's 16-core CPU baseline: a data-parallel
+// (OpenMP) loop is statically chunked across cores; the parallel region
+// costs the slowest chunk plus fork/join overhead. Each core has a private
+// L1 and the model charges the shared-L2 hierarchy per chunk.
+type MulticoreConfig struct {
+	Core  Config
+	Cores int
+
+	// ForkJoinOverhead is the cycles spent spawning and joining the
+	// parallel region (thread wakeup, barrier).
+	ForkJoinOverhead float64
+
+	// SampleChunks bounds how many chunks are actually simulated; chunk
+	// timings are symmetric for regular kernels, so the model simulates the
+	// first SampleChunks chunks and takes the maximum, scaling simulation
+	// cost down. 0 means simulate every chunk.
+	SampleChunks int
+}
+
+// DefaultMulticore returns the paper's baseline: 16 quad-issue OoO cores.
+func DefaultMulticore() MulticoreConfig {
+	return MulticoreConfig{
+		Core:             DefaultBOOM(),
+		Cores:            16,
+		ForkJoinOverhead: 3000,
+		SampleChunks:     2,
+	}
+}
+
+// ChunkRunner times one static chunk of a parallel loop on one core. The
+// chunk index selects the iteration subrange [chunk*N/Cores, (chunk+1)*N/Cores).
+type ChunkRunner func(chunk, cores int) (*Result, error)
+
+// TimeParallel models a parallel region. For serial workloads pass a runner
+// that ignores the chunk index and set Cores to 1.
+func TimeParallel(cfg MulticoreConfig, run ChunkRunner) (*Result, error) {
+	if cfg.Cores < 1 {
+		return nil, fmt.Errorf("cpu: invalid core count %d", cfg.Cores)
+	}
+	samples := cfg.SampleChunks
+	if samples <= 0 || samples > cfg.Cores {
+		samples = cfg.Cores
+	}
+	var worst *Result
+	var total Result
+	for chunk := 0; chunk < samples; chunk++ {
+		r, err := run(chunk, cfg.Cores)
+		if err != nil {
+			return nil, err
+		}
+		total.Retired += r.Retired * uint64(cfg.Cores) / uint64(samples)
+		total.Mispredicts += r.Mispredicts * uint64(cfg.Cores) / uint64(samples)
+		if worst == nil || r.Cycles > worst.Cycles {
+			worst = r
+		}
+	}
+	total.Cycles = worst.Cycles
+	if cfg.Cores > 1 {
+		total.Cycles += cfg.ForkJoinOverhead
+	}
+	total.AMAT = worst.AMAT
+	if total.Cycles > 0 {
+		total.IPC = float64(total.Retired) / total.Cycles
+	}
+	return &total, nil
+}

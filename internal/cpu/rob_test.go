@@ -1,0 +1,129 @@
+package cpu
+
+import (
+	"testing"
+
+	"mesa/internal/asm"
+	"mesa/internal/mem"
+)
+
+// TestROBLimitsMLP: with a tiny reorder buffer, independent long-latency
+// loads cannot overlap (memory-level parallelism collapses), so a stream of
+// cache-missing loads slows down markedly versus a large ROB.
+func TestROBLimitsMLP(t *testing.T) {
+	src := `
+	li t0, 0
+	li t1, 400
+	li t2, 0x100000
+loop:
+	lw   t3, 0(t2)
+	lw   t4, 4096(t2)
+	lw   t5, 8192(t2)
+	lw   t6, 12288(t2)
+	addi t2, t2, 64
+	addi t0, t0, 1
+	blt  t0, t1, loop
+	ecall
+`
+	run := func(rob int) float64 {
+		cfg := DefaultBOOM()
+		cfg.ROBSize = rob
+		cfg.StridePrefetcher = false
+		p, err := asm.Assemble(0x1000, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hier := mem.MustHierarchy(mem.DefaultHierarchy())
+		res, err := Time(cfg, p, mem.NewMemory(), hier, 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	big := run(128)
+	tiny := run(4)
+	if tiny <= big*1.3 {
+		t.Errorf("4-entry ROB (%.0f cyc) should be much slower than 128-entry (%.0f cyc)", tiny, big)
+	}
+}
+
+// TestMemPortsLimitThroughput: halving memory ports slows a load-dense loop.
+func TestMemPortsLimitThroughput(t *testing.T) {
+	src := `
+	li t0, 0
+	li t1, 1000
+	li t2, 0x100000
+loop:
+	lw   t3, 0(t2)
+	lw   t4, 4(t2)
+	lw   t5, 8(t2)
+	lw   t6, 12(t2)
+	addi t2, t2, 16
+	addi t0, t0, 1
+	blt  t0, t1, loop
+	ecall
+`
+	run := func(ports int) float64 {
+		cfg := DefaultBOOM()
+		cfg.MemPorts = ports
+		p, err := asm.Assemble(0x1000, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hier := mem.MustHierarchy(mem.DefaultHierarchy())
+		res, err := Time(cfg, p, mem.NewMemory(), hier, 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	two := run(2)
+	one := run(1)
+	if one <= two {
+		t.Errorf("1 port (%.0f cyc) should be slower than 2 ports (%.0f cyc)", one, two)
+	}
+}
+
+// TestUnpipelinedDivStalls: back-to-back divisions serialize on the
+// unpipelined divider.
+func TestUnpipelinedDivStalls(t *testing.T) {
+	dep := `
+	li t0, 0
+	li t1, 500
+loop:
+	div  t2, t3, t4
+	div  t5, t6, t4
+	addi t0, t0, 1
+	blt  t0, t1, loop
+	ecall
+`
+	add := `
+	li t0, 0
+	li t1, 500
+loop:
+	add  t2, t3, t4
+	add  t5, t6, t4
+	addi t0, t0, 1
+	blt  t0, t1, loop
+	ecall
+`
+	cfg := DefaultBOOM()
+	pDiv, _ := asm.Assemble(0x1000, dep)
+	pAdd, _ := asm.Assemble(0x1000, add)
+	hier1 := mem.MustHierarchy(mem.DefaultHierarchy())
+	hier2 := mem.MustHierarchy(mem.DefaultHierarchy())
+	mDiv := mem.NewMemory()
+	rDiv, err := Time(cfg, pDiv, mDiv, hier1, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAdd, err := Time(cfg, pAdd, mem.NewMemory(), hier2, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two independent divs per iteration on one unpipelined divider: at
+	// least ~24 cycles/iter vs ~1 for adds.
+	if rDiv.Cycles < 8*rAdd.Cycles {
+		t.Errorf("div loop %.0f cyc not >> add loop %.0f cyc", rDiv.Cycles, rAdd.Cycles)
+	}
+}

@@ -1,0 +1,235 @@
+package dfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mesa/internal/isa"
+	"mesa/internal/noc"
+)
+
+func node(op isa.Op, lat float64, srcs ...NodeID) Node {
+	n := Node{
+		Inst:       isa.Inst{Op: op, Rd: isa.X5, Rs1: isa.X6, Rs2: isa.X7, Rs3: isa.RegNone},
+		OpLat:      lat,
+		Src:        [3]NodeID{None, None, None},
+		LiveIn:     [3]isa.Reg{isa.RegNone, isa.RegNone, isa.RegNone},
+		MemDep:     None,
+		PredDep:    None,
+		PredLiveIn: isa.RegNone,
+		CtrlDep:    None,
+	}
+	for k, s := range srcs {
+		n.Src[k] = s
+	}
+	return n
+}
+
+// TestFigure2Example reproduces the paper's worked DFG latency example:
+// five instructions with add/sub at 3 cycles, multiply at 5 cycles, and
+// transfer latency equal to the Manhattan distance between placements. The
+// sequence completes in 15 cycles with {i1, i4, i5} on the critical path.
+func TestFigure2Example(t *testing.T) {
+	g := NewGraph()
+	i1 := g.Add(node(isa.OpFADDS, 3))     // inputs ready from registers
+	i2 := g.Add(node(isa.OpFMULS, 5, i1)) // dist 1 from i1
+	i3 := g.Add(node(isa.OpFADDS, 3, i2)) // dist 1 from i2
+	i4 := g.Add(node(isa.OpFMULS, 5, i1)) // dist 2 from i1
+	i5 := g.Add(node(isa.OpFADDS, 3, i4)) // dist 2 from i4
+	pos := map[NodeID]noc.Coord{
+		i1: {Row: 0, Col: 0},
+		i2: {Row: 0, Col: 1},
+		i3: {Row: 1, Col: 1},
+		i4: {Row: 0, Col: 2},
+		i5: {Row: 2, Col: 2},
+	}
+	mesh := noc.Mesh{}
+	edge := func(from, to NodeID) float64 {
+		return float64(mesh.Latency(pos[from], pos[to]))
+	}
+
+	ev := g.Evaluate(edge)
+	want := []float64{3, 9, 13, 10, 15}
+	for i, w := range want {
+		if ev.Completion[i] != w {
+			t.Errorf("L_i%d = %v, want %v", i+1, ev.Completion[i], w)
+		}
+	}
+	if ev.Total != 15 {
+		t.Errorf("total = %v, want 15", ev.Total)
+	}
+	cp := ev.CriticalPath()
+	if len(cp) != 3 || cp[0] != i1 || cp[1] != i4 || cp[2] != i5 {
+		t.Errorf("critical path = %v, want [i1 i4 i5]", cp)
+	}
+
+	// Slack: critical-path nodes have zero slack; i3 can slip by 2.
+	slack := g.Slack(ev, edge)
+	for _, id := range cp {
+		if slack[id] != 0 {
+			t.Errorf("slack of critical node i%d = %v", id+1, slack[id])
+		}
+	}
+	if slack[i3] != 2 {
+		t.Errorf("slack(i3) = %v, want 2", slack[i3])
+	}
+}
+
+func TestMeasuredEdgeOverride(t *testing.T) {
+	g := NewGraph()
+	a := g.Add(node(isa.OpADD, 1))
+	b := g.Add(node(isa.OpADD, 1, a))
+	ev := g.Evaluate(ConstantEdges(4))
+	if ev.Completion[b] != 6 {
+		t.Fatalf("pre-override L_b = %v", ev.Completion[b])
+	}
+	g.SetEdgeLatency(a, b, 10)
+	ev = g.Evaluate(ConstantEdges(4))
+	if ev.Completion[b] != 12 {
+		t.Errorf("measured override ignored: L_b = %v", ev.Completion[b])
+	}
+	g.ClearMeasurements()
+	ev = g.Evaluate(ConstantEdges(4))
+	if ev.Completion[b] != 6 {
+		t.Errorf("ClearMeasurements did not reset: L_b = %v", ev.Completion[b])
+	}
+}
+
+func TestValidateRejectsForwardDeps(t *testing.T) {
+	g := NewGraph()
+	a := g.Add(node(isa.OpADD, 1))
+	bad := node(isa.OpADD, 1)
+	bad.Src[0] = a + 1 // forward reference
+	g.Add(bad)
+	if err := g.Validate(); err == nil {
+		t.Error("forward dependency should fail validation")
+	}
+
+	g2 := NewGraph()
+	x := g2.Add(node(isa.OpADD, 1))
+	y := node(isa.OpADD, 1)
+	y.Src[0] = x
+	g2.Add(y)
+	if err := g2.Validate(); err != nil {
+		t.Errorf("valid graph rejected: %v", err)
+	}
+}
+
+func TestConsumers(t *testing.T) {
+	g := NewGraph()
+	a := g.Add(node(isa.OpADD, 1))
+	b := g.Add(node(isa.OpADD, 1, a))
+	c := g.Add(node(isa.OpADD, 1, a, b))
+	cons := g.Consumers()
+	if len(cons[a]) != 2 || cons[a][0] != b || cons[a][1] != c {
+		t.Errorf("consumers(a) = %v", cons[a])
+	}
+	if len(cons[c]) != 0 {
+		t.Errorf("consumers(c) = %v", cons[c])
+	}
+}
+
+func TestParentsIncludeAllDepKinds(t *testing.T) {
+	g := NewGraph()
+	a := g.Add(node(isa.OpADD, 1))
+	b := g.Add(node(isa.OpSW, 1, a))
+	c := node(isa.OpLW, 3)
+	c.MemDep = b
+	c.PredDep = a
+	c.CtrlDep = a
+	id := g.Add(c)
+	edges := g.Node(id).Parents(nil)
+	kinds := map[DepKind]bool{}
+	for _, e := range edges {
+		kinds[e.Kind] = true
+	}
+	if !kinds[DepMem] || !kinds[DepPred] || !kinds[DepCtrl] {
+		t.Errorf("missing dep kinds in %v", edges)
+	}
+}
+
+// Property: total latency is monotone in edge latency, and every completion
+// time is at least the node's own operation latency.
+func TestLatencyMonotonicity(t *testing.T) {
+	build := func(seed int64) *Graph {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		n := 2 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			nd := node(isa.OpADD, 1+float64(rng.Intn(5)))
+			for k := 0; k < 2 && i > 0; k++ {
+				if rng.Intn(2) == 0 {
+					nd.Src[k] = NodeID(rng.Intn(i))
+				}
+			}
+			g.Add(nd)
+		}
+		return g
+	}
+	f := func(seed int64, lat uint8) bool {
+		g := build(seed)
+		lo := g.Evaluate(ConstantEdges(float64(lat % 8)))
+		hi := g.Evaluate(ConstantEdges(float64(lat%8) + 1))
+		if hi.Total < lo.Total {
+			return false
+		}
+		for i := range g.Nodes {
+			if lo.Completion[i] < g.Nodes[i].OpLat {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the critical path is a chain of dependencies whose weights sum
+// to the total latency.
+func TestCriticalPathSumsToTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		n := 2 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			nd := node(isa.OpADD, 1+float64(rng.Intn(4)))
+			if i > 0 && rng.Intn(3) > 0 {
+				nd.Src[0] = NodeID(rng.Intn(i))
+			}
+			g.Add(nd)
+		}
+		edge := ConstantEdges(2)
+		ev := g.Evaluate(edge)
+		cp := ev.CriticalPath()
+		if len(cp) == 0 {
+			return n == 0
+		}
+		sum := 0.0
+		for i, id := range cp {
+			sum += g.Node(id).OpLat
+			if i > 0 {
+				sum += 2 // constant edge latency
+			}
+		}
+		return sum == ev.Total
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyTableRendering(t *testing.T) {
+	g := NewGraph()
+	g.Add(node(isa.OpADD, 1))
+	ev := g.Evaluate(ZeroEdges)
+	if s := g.LatencyTable(ev); len(s) == 0 {
+		t.Error("empty latency table")
+	}
+	if s := g.String(); len(s) == 0 {
+		t.Error("empty graph dump")
+	}
+}

@@ -1,0 +1,100 @@
+package dfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DotOptions controls Graphviz rendering of a DFG.
+type DotOptions struct {
+	// Name is the graph name (default "dfg").
+	Name string
+
+	// Eval, when non-nil, annotates nodes with completion times and
+	// highlights the critical path.
+	Eval *Eval
+
+	// Position, when non-nil, labels each node with its placement (the SDFG
+	// view); the function returns a human-readable location string.
+	Position func(NodeID) string
+
+	// EdgeLatency, when non-nil, labels data edges with transfer latencies.
+	EdgeLatency EdgeLatencyFunc
+}
+
+// Dot renders the graph in Graphviz DOT format: nodes are instructions
+// (weighted by operation latency), solid edges are register dataflow, dashed
+// edges are memory ordering, dotted edges predication/control. Pipe the
+// output through `dot -Tsvg` to visualize a mapping.
+func (g *Graph) Dot(opts DotOptions) string {
+	name := opts.Name
+	if name == "" {
+		name = "dfg"
+	}
+	var crit []bool
+	if opts.Eval != nil {
+		crit = opts.Eval.OnCriticalPath()
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n")
+
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		label := fmt.Sprintf("i%d: %s\\nop=%.1f", i, escapeDot(n.Inst.String()), n.OpLat)
+		if opts.Eval != nil {
+			label += fmt.Sprintf("\\nL=%.1f", opts.Eval.Completion[i])
+		}
+		if opts.Position != nil {
+			label += "\\n@" + escapeDot(opts.Position(NodeID(i)))
+		}
+		attrs := fmt.Sprintf("label=\"%s\"", label)
+		if crit != nil && crit[i] {
+			attrs += ", style=filled, fillcolor=\"#ffd8a8\", penwidth=2"
+		} else if n.Inst.IsMem() && !n.Fwd {
+			attrs += ", style=filled, fillcolor=\"#d0ebff\""
+		} else if n.CtrlDep != None {
+			attrs += ", style=filled, fillcolor=\"#f3f0ff\""
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", i, attrs)
+	}
+
+	var scratch []Edge
+	for i := range g.Nodes {
+		scratch = g.Nodes[i].Parents(scratch[:0])
+		for _, e := range scratch {
+			style := "solid"
+			color := "black"
+			label := ""
+			switch e.Kind {
+			case DepMem:
+				style, color = "dashed", "#1971c2"
+			case DepPred:
+				style, color = "dotted", "#9c36b5"
+			case DepCtrl:
+				style, color = "dotted", "#e03131"
+			default:
+				if opts.EdgeLatency != nil {
+					if lat, ok := g.MeasuredEdgeLatency(e.From, e.To); ok {
+						label = fmt.Sprintf("%.1f", lat)
+					} else {
+						label = fmt.Sprintf("%.1f", opts.EdgeLatency(e.From, e.To))
+					}
+				}
+			}
+			attrs := fmt.Sprintf("style=%s, color=\"%s\"", style, color)
+			if label != "" {
+				attrs += fmt.Sprintf(", label=\"%s\"", label)
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d [%s];\n", e.From, e.To, attrs)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

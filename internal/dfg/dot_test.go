@@ -1,0 +1,48 @@
+package dfg
+
+import (
+	"strings"
+	"testing"
+
+	"mesa/internal/isa"
+)
+
+func TestDotRendering(t *testing.T) {
+	g := NewGraph()
+	a := g.Add(node(isa.OpLW, 3))
+	b := g.Add(node(isa.OpADD, 1, a))
+	st := node(isa.OpSW, 1, b)
+	st.MemDep = a
+	g.Add(st)
+	pr := node(isa.OpADDI, 1)
+	pr.PredDep = b
+	pr.CtrlDep = a
+	g.Add(pr)
+
+	ev := g.Evaluate(ConstantEdges(1))
+	out := g.Dot(DotOptions{
+		Name:        "test",
+		Eval:        ev,
+		Position:    func(id NodeID) string { return "(0,0)" },
+		EdgeLatency: ConstantEdges(1),
+	})
+	for _, want := range []string{
+		`digraph "test"`,
+		"n0 -> n1",              // data edge
+		"style=dashed",          // memory edge
+		"style=dotted",          // pred/ctrl edges
+		"fillcolor=\"#ffd8a8\"", // critical path highlight
+		"@(0,0)",                // placement label
+		"L=",                    // completion annotation
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDotEscaping(t *testing.T) {
+	if escapeDot(`a"b\c`) != `a\"b\\c` {
+		t.Errorf("escape = %q", escapeDot(`a"b\c`))
+	}
+}

@@ -1,0 +1,109 @@
+package energy
+
+import (
+	"testing"
+
+	"mesa/internal/accel"
+	"mesa/internal/cpu"
+	"mesa/internal/isa"
+)
+
+func TestTable1Consistency(t *testing.T) {
+	// Top-level MESA area/power must be at least the sum of the visible
+	// leaf components (Table 1 rows overlap hierarchically; the top row
+	// dominates all sub-rows).
+	rows := Table1MESA()
+	top := rows[0]
+	if top.AreaMM2 != 0.502 || top.PowerW != 0.36 {
+		t.Errorf("MESA top row = %+v", top)
+	}
+	for _, r := range rows[1:] {
+		if r.AreaMM2 > top.AreaMM2 || r.PowerW > top.PowerW {
+			t.Errorf("component %q exceeds its parent", r.Name)
+		}
+	}
+	acc := Table1Accelerator()
+	if acc[0].AreaMM2 != 26.56 || acc[0].PowerW != 11.65 {
+		t.Errorf("accelerator top = %+v", acc[0])
+	}
+	// MESA controller is well under 10% of a core's area (paper: <10% of
+	// a ~6mm² core at 28nm, i.e. well under 2mm² at 15nm).
+	if top.AreaMM2 > 1.0 {
+		t.Errorf("MESA area %f mm² too large", top.AreaMM2)
+	}
+	if len(Table1CoreAdditions()) == 0 {
+		t.Error("missing per-core additions")
+	}
+}
+
+func TestAccelEnergyBreakdown(t *testing.T) {
+	cfg := accel.M128()
+	act := accel.Activity{
+		Cycles:      1000,
+		IntALU:      400,
+		FPU:         600,
+		NoC:         200,
+		LSU:         300,
+		CtrlEvents:  50,
+		MemAccesses: 300,
+	}
+	b := AccelEnergy(cfg, act)
+	if b.TotalNJ() <= 0 {
+		t.Fatal("zero energy")
+	}
+	for name, v := range map[string]float64{
+		"compute": b.ComputeNJ, "memory": b.MemoryNJ, "noc": b.NoCNJ,
+		"control": b.ControlNJ, "leakage": b.LeakageNJ,
+	} {
+		if v < 0 {
+			t.Errorf("%s energy negative: %v", name, v)
+		}
+		if v == 0 {
+			t.Errorf("%s energy unexpectedly zero", name)
+		}
+	}
+	// Idle activity costs only leakage.
+	idle := AccelEnergy(cfg, accel.Activity{Cycles: 1000})
+	if idle.ComputeNJ != 0 || idle.LeakageNJ <= 0 {
+		t.Error("clock gating broken: idle units must cost only leakage")
+	}
+	// Leakage scales with PE count.
+	big := AccelEnergy(accel.M512(), accel.Activity{Cycles: 1000})
+	if big.LeakageNJ <= idle.LeakageNJ {
+		t.Error("M-512 leakage should exceed M-128")
+	}
+}
+
+func TestCPUEnergy(t *testing.T) {
+	p := DefaultCPUParams()
+	var byClass [isa.NumClasses]uint64
+	byClass[isa.ClassALU] = 1000
+	byClass[isa.ClassLoad] = 300
+	byClass[isa.ClassFPMul] = 200
+	res := &cpu.Result{Cycles: 2000, Retired: 1500, ByClass: byClass}
+	one := CPUEnergy(res, 1, p)
+	sixteen := CPUEnergy(res, 16, p)
+	if one <= 0 {
+		t.Fatal("zero CPU energy")
+	}
+	// 16 cores pay 16x static power but the same dynamic energy.
+	staticOne := res.Cycles * p.StaticWPerCore / p.ClockGHz
+	if sixteen-one != 15*staticOne {
+		t.Errorf("static scaling wrong: %v vs %v", sixteen-one, 15*staticOne)
+	}
+	// Memory instructions cost more than ALU instructions.
+	var memHeavy, aluHeavy [isa.NumClasses]uint64
+	memHeavy[isa.ClassLoad] = 1000
+	aluHeavy[isa.ClassALU] = 1000
+	em := CPUEnergy(&cpu.Result{Cycles: 1, ByClass: memHeavy}, 1, p)
+	ea := CPUEnergy(&cpu.Result{Cycles: 1, ByClass: aluHeavy}, 1, p)
+	if em <= ea {
+		t.Error("memory instructions should cost more energy")
+	}
+}
+
+func TestConfigEnergy(t *testing.T) {
+	if ConfigEnergy(1000, 2.0) != 1000*MESAControllerW/2.0 {
+		t.Error("config energy formula wrong")
+	}
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWindowAblation(t *testing.T) {
+	rows, err := WindowAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Hardware cost (candidates scanned, reduction depth) grows with the
+	// window.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].AvgCandidates <= rows[i-1].AvgCandidates {
+			t.Errorf("candidates not increasing: %s %.1f vs %s %.1f",
+				rows[i].Name, rows[i].AvgCandidates, rows[i-1].Name, rows[i-1].AvgCandidates)
+		}
+	}
+	// Placement quality has diminishing returns: the paper's 4×8 window is
+	// within 5% of the full-column search.
+	paper, full := rows[1], rows[3]
+	if paper.GeomeanModeledIter > full.GeomeanModeledIter*1.05 {
+		t.Errorf("4x8 window loses too much quality: %.1f vs %.1f",
+			paper.GeomeanModeledIter, full.GeomeanModeledIter)
+	}
+	// And the full search costs at least 2x the candidates.
+	if full.AvgCandidates < 2*paper.AvgCandidates {
+		t.Errorf("full search unexpectedly cheap: %.1f vs %.1f",
+			full.AvgCandidates, paper.AvgCandidates)
+	}
+}
+
+func TestTieBreakAblation(t *testing.T) {
+	r, err := TieBreakAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tie-break is a congestion heuristic: it must never cause more bus
+	// fallbacks, and quality should stay within a few percent either way.
+	if r.WithBusFalls > r.WithoutBusFalls {
+		t.Errorf("tie-break increased bus fallbacks: %d vs %d",
+			r.WithBusFalls, r.WithoutBusFalls)
+	}
+	if r.WithGeomean > r.WithoutGeomean*1.10 {
+		t.Errorf("tie-break degraded latency: %.1f vs %.1f",
+			r.WithGeomean, r.WithoutGeomean)
+	}
+}
+
+func TestMemOptAblation(t *testing.T) {
+	rows, err := MemOptAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Speedup is monotone non-decreasing as optimizations stack.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].GeomeanSpeedup < rows[i-1].GeomeanSpeedup*0.99 {
+			t.Errorf("%s regressed: %.2f vs %.2f",
+				rows[i].Name, rows[i].GeomeanSpeedup, rows[i-1].GeomeanSpeedup)
+		}
+	}
+	// Prefetching must fire and help on these streaming kernels.
+	last := rows[len(rows)-1]
+	if last.TotalPrefetches == 0 {
+		t.Error("no prefetches issued")
+	}
+	if last.GeomeanSpeedup <= 1.05 {
+		t.Errorf("memory optimizations gained only %.2fx", last.GeomeanSpeedup)
+	}
+}
+
+func TestForwardingAblation(t *testing.T) {
+	r, err := ForwardingAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LoadsElided != 1 {
+		t.Errorf("loads elided = %d, want 1", r.LoadsElided)
+	}
+	if r.WithIterLat >= r.WithoutIterLat {
+		t.Errorf("forwarding did not help: %.1f vs %.1f",
+			r.WithIterLat, r.WithoutIterLat)
+	}
+}
+
+func TestInterconnectAblation(t *testing.T) {
+	rows, err := InterconnectAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// All interconnects map the suite without excessive fallback, and the
+	// modeled latencies stay within a factor of 2 of each other (the mapper
+	// adapts placement to each latency function).
+	for _, r := range rows {
+		if r.BusFallbacks > 5 {
+			t.Errorf("%s: %d bus fallbacks", r.Name, r.BusFallbacks)
+		}
+		if r.GeomeanModeledIter <= 0 {
+			t.Errorf("%s: no latency measured", r.Name)
+		}
+	}
+	for _, a := range rows {
+		for _, b := range rows {
+			if a.GeomeanModeledIter > 2*b.GeomeanModeledIter {
+				t.Errorf("interconnect gap too large: %s %.1f vs %s %.1f",
+					a.Name, a.GeomeanModeledIter, b.Name, b.GeomeanModeledIter)
+			}
+		}
+	}
+}
+
+func TestTimeShareAblation(t *testing.T) {
+	r, err := TimeShareAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.M64Qualified {
+		t.Fatal("srad should qualify on M-64 with 2-way sharing")
+	}
+	// Sharing is a capacity trade: slower per iteration than M-128 spatial.
+	if r.M64SharedII <= r.M128SpatialII {
+		t.Errorf("shared M-64 II %.2f should exceed spatial M-128 II %.2f",
+			r.M64SharedII, r.M128SpatialII)
+	}
+}
+
+func TestRenderAblations(t *testing.T) {
+	out, err := RenderAblations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Ablation A", "Ablation B", "Ablation C", "Ablation C2", "Ablation D", "Ablation E"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	t.Log("\n" + out)
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mesa/internal/accel"
+	"mesa/internal/cpu"
+	"mesa/internal/energy"
+	"mesa/internal/kernels"
+)
+
+// Figure13Kernels are the four benchmarks the paper averages for the
+// energy-consumption breakdown.
+var Figure13Kernels = []string{"nn", "kmeans", "hotspot", "cfd"}
+
+// Figure13Result reproduces Figure 13: the breakdown of area, power, and
+// energy by component for MESA including the accelerator. The paper's
+// headline observation: almost 87% of total energy goes to memory or
+// computation, with a small fraction on control.
+type Figure13Result struct {
+	// Energy fractions averaged over the four benchmarks.
+	ComputeFrac float64
+	MemoryFrac  float64
+	NoCFrac     float64
+	ControlFrac float64
+	LeakageFrac float64
+
+	// Area and power shares from the Table 1 synthesis numbers.
+	AreaPEArray  float64
+	AreaOther    float64
+	AreaMESA     float64
+	PowerPEArray float64
+	PowerOther   float64
+	PowerMESA    float64
+
+	PaperComputeMemoryFrac float64 // ≈0.87
+}
+
+// Figure13 runs the experiment.
+func Figure13() (*Figure13Result, error) {
+	var total energy.Breakdown
+	cpuCfg := cpu.DefaultBOOM()
+	for _, name := range Figure13Kernels {
+		k, err := kernels.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		single, err := TimeSingleCore(k, cpuCfg)
+		if err != nil {
+			return nil, err
+		}
+		run, err := RunMESA(k, accel.M128(), single.Cycles/float64(k.N), MESAOptions{})
+		if err != nil {
+			return nil, err
+		}
+		if !run.Qualified {
+			return nil, fmt.Errorf("figure13: %s did not qualify", name)
+		}
+		b := run.Breakdown
+		total.ComputeNJ += b.ComputeNJ
+		total.MemoryNJ += b.MemoryNJ
+		total.NoCNJ += b.NoCNJ
+		total.ControlNJ += b.ControlNJ
+		total.LeakageNJ += b.LeakageNJ
+	}
+	sum := total.TotalNJ()
+	res := &Figure13Result{
+		ComputeFrac: total.ComputeNJ / sum,
+		MemoryFrac:  total.MemoryNJ / sum,
+		NoCFrac:     total.NoCNJ / sum,
+		ControlFrac: total.ControlNJ / sum,
+		LeakageFrac: total.LeakageNJ / sum,
+
+		PaperComputeMemoryFrac: 0.87,
+	}
+	// Area/power shares from the synthesis constants.
+	accTop := energy.Table1Accelerator()[0]
+	peArr := energy.Table1Accelerator()[1]
+	mesaTop := energy.Table1MESA()[0]
+	res.AreaPEArray = peArr.AreaMM2
+	res.AreaOther = accTop.AreaMM2 - peArr.AreaMM2
+	res.AreaMESA = mesaTop.AreaMM2
+	res.PowerPEArray = peArr.PowerW
+	res.PowerOther = accTop.PowerW - peArr.PowerW
+	res.PowerMESA = mesaTop.PowerW
+	return res, nil
+}
+
+// ComputeMemoryFrac returns the combined compute+memory energy fraction
+// (the paper's ~87% headline).
+func (r *Figure13Result) ComputeMemoryFrac() float64 {
+	return r.ComputeFrac + r.MemoryFrac
+}
+
+// Render prints the figure.
+func (r *Figure13Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 13: area / power / energy breakdown (avg of nn, kmeans, hotspot, cfd)\n")
+	b.WriteString("energy by component:\n")
+	b.WriteString(fmt.Sprintf("  compute      %5.1f%%\n", 100*r.ComputeFrac))
+	b.WriteString(fmt.Sprintf("  memory       %5.1f%%\n", 100*r.MemoryFrac))
+	b.WriteString(fmt.Sprintf("  interconnect %5.1f%%\n", 100*r.NoCFrac))
+	b.WriteString(fmt.Sprintf("  control      %5.1f%%\n", 100*r.ControlFrac))
+	b.WriteString(fmt.Sprintf("  leakage      %5.1f%%\n", 100*r.LeakageFrac))
+	b.WriteString(fmt.Sprintf("compute+memory = %.1f%% (paper: ~%.0f%%)\n",
+		100*r.ComputeMemoryFrac(), 100*r.PaperComputeMemoryFrac))
+	b.WriteString("area (mm²):  ")
+	b.WriteString(fmt.Sprintf("PE array %.2f, accel other %.2f, MESA %.2f\n",
+		r.AreaPEArray, r.AreaOther, r.AreaMESA))
+	b.WriteString("power (W):   ")
+	b.WriteString(fmt.Sprintf("PE array %.2f, accel other %.2f, MESA %.2f\n",
+		r.PowerPEArray, r.PowerOther, r.PowerMESA))
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mesa/internal/accel"
+	"mesa/internal/cpu"
+	"mesa/internal/kernels"
+)
+
+// Figure15PECounts is the swept PE range for the nn scaling study.
+var Figure15PECounts = []int{16, 32, 64, 128, 256, 512}
+
+// Figure15Point is one point of the scaling curves.
+type Figure15Point struct {
+	PEs int
+
+	// Speedups normalized to the 16-PE default configuration.
+	Default     float64
+	IdealMemory float64
+	IdealPE     float64
+
+	Tiles int
+	Bound string
+}
+
+// Figure15Result reproduces Figure 15: MESA performance scaling with PE
+// count for the nn kernel, with an "ideal memory" series (infinite memory
+// ports) and the ideal linear-scaling reference. The paper observes
+// near-perfect scaling until memory bottlenecks beyond 128 PEs.
+type Figure15Result struct {
+	Points []Figure15Point
+
+	// SaturationPEs is the first configuration where the default series
+	// falls below 70% of ideal-memory performance (the bottleneck knee).
+	SaturationPEs int
+}
+
+// Figure15 runs the experiment.
+func Figure15() (*Figure15Result, error) {
+	k, err := kernels.ByName("nn")
+	if err != nil {
+		return nil, err
+	}
+	single, err := TimeSingleCore(k, cpu.DefaultBOOM())
+	if err != nil {
+		return nil, err
+	}
+	cpuPerIter := single.Cycles / float64(k.N)
+
+	type meas struct {
+		cycles float64
+		tiles  int
+		bound  string
+	}
+	measure := func(be *accel.Config) (meas, error) {
+		run, err := RunMESA(k, be, cpuPerIter, MESAOptions{})
+		if err != nil {
+			return meas{}, err
+		}
+		if !run.Qualified {
+			return meas{}, fmt.Errorf("figure15: nn did not qualify on %s", be.Name)
+		}
+		return meas{cycles: run.TotalCycles, tiles: run.Region.Tiles, bound: run.Region.Bound}, nil
+	}
+
+	res := &Figure15Result{}
+	var base float64
+	for _, pes := range Figure15PECounts {
+		def, err := measure(accel.WithPEs(pes))
+		if err != nil {
+			return nil, err
+		}
+		ideal := accel.WithPEs(pes)
+		ideal.Name += "-idealmem"
+		// Enough ports that no access ever waits (the kernel issues at most
+		// a few accesses per iteration per tile).
+		ideal.MemPorts = 512
+		im, err := measure(ideal)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = def.cycles
+		}
+		res.Points = append(res.Points, Figure15Point{
+			PEs:         pes,
+			Default:     base / def.cycles,
+			IdealMemory: base / im.cycles,
+			IdealPE:     float64(pes) / float64(Figure15PECounts[0]),
+			Tiles:       def.tiles,
+			Bound:       def.bound,
+		})
+	}
+	for _, p := range res.Points {
+		if p.Default < 0.7*p.IdealMemory {
+			res.SaturationPEs = p.PEs
+			break
+		}
+	}
+	return res, nil
+}
+
+// Render prints the scaling series.
+func (r *Figure15Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 15: nn performance scaling with PE count (normalized to 16 PEs)\n")
+	b.WriteString(fmt.Sprintf("%6s %10s %12s %10s %6s %10s\n",
+		"PEs", "default", "ideal mem", "ideal PE", "tiles", "bound"))
+	for _, p := range r.Points {
+		b.WriteString(fmt.Sprintf("%6d %9.2fx %11.2fx %9.2fx %6d %10s\n",
+			p.PEs, p.Default, p.IdealMemory, p.IdealPE, p.Tiles, p.Bound))
+	}
+	if r.SaturationPEs > 0 {
+		b.WriteString(fmt.Sprintf("memory bottleneck visible from %d PEs (paper: beyond 128 PEs)\n",
+			r.SaturationPEs))
+	} else {
+		b.WriteString("no memory bottleneck observed in the swept range\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. Values 0–31 are the integer registers
+// x0–x31; values 32–63 are the floating-point registers f0–f31. RegNone marks
+// an absent operand.
+type Reg uint8
+
+// Integer registers.
+const (
+	X0 Reg = iota
+	X1
+	X2
+	X3
+	X4
+	X5
+	X6
+	X7
+	X8
+	X9
+	X10
+	X11
+	X12
+	X13
+	X14
+	X15
+	X16
+	X17
+	X18
+	X19
+	X20
+	X21
+	X22
+	X23
+	X24
+	X25
+	X26
+	X27
+	X28
+	X29
+	X30
+	X31
+)
+
+// Floating-point registers.
+const (
+	F0 Reg = iota + 32
+	F1
+	F2
+	F3
+	F4
+	F5
+	F6
+	F7
+	F8
+	F9
+	F10
+	F11
+	F12
+	F13
+	F14
+	F15
+	F16
+	F17
+	F18
+	F19
+	F20
+	F21
+	F22
+	F23
+	F24
+	F25
+	F26
+	F27
+	F28
+	F29
+	F30
+	F31
+)
+
+// RegNone marks an operand slot that is not used by the instruction.
+const RegNone Reg = 255
+
+// NumRegs is the size of the combined architectural register space
+// (32 integer + 32 floating-point).
+const NumRegs = 64
+
+// Common ABI aliases.
+const (
+	RegZero = X0 // hardwired zero
+	RegRA   = X1 // return address
+	RegSP   = X2 // stack pointer
+	RegGP   = X3 // global pointer
+	RegTP   = X4 // thread pointer
+	RegT0   = X5 // temporaries
+	RegT1   = X6
+	RegT2   = X7
+	RegS0   = X8 // saved registers
+	RegS1   = X9
+	RegA0   = X10 // argument registers
+	RegA1   = X11
+	RegA2   = X12
+	RegA3   = X13
+	RegA4   = X14
+	RegA5   = X15
+	RegA6   = X16
+	RegA7   = X17
+)
+
+// IsFP reports whether r is a floating-point register.
+func (r Reg) IsFP() bool { return r >= 32 && r < 64 }
+
+// IsInt reports whether r is an integer register.
+func (r Reg) IsInt() bool { return r < 32 }
+
+// Num returns the 5-bit register number within its file.
+func (r Reg) Num() uint8 { return uint8(r) & 31 }
+
+func (r Reg) String() string {
+	switch {
+	case r == RegNone:
+		return "-"
+	case r < 32:
+		return fmt.Sprintf("x%d", r)
+	case r < 64:
+		return fmt.Sprintf("f%d", r-32)
+	}
+	return fmt.Sprintf("reg(%d)", uint8(r))
+}
+
+// IntReg returns the integer register with number n (panics if n > 31).
+func IntReg(n int) Reg {
+	if n < 0 || n > 31 {
+		panic(fmt.Sprintf("isa: integer register number %d out of range", n))
+	}
+	return Reg(n)
+}
+
+// FPReg returns the floating-point register with number n (panics if n > 31).
+func FPReg(n int) Reg {
+	if n < 0 || n > 31 {
+		panic(fmt.Sprintf("isa: fp register number %d out of range", n))
+	}
+	return Reg(n + 32)
+}

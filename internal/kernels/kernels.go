@@ -1,0 +1,131 @@
+// Package kernels provides the Rodinia-like workloads used throughout the
+// evaluation. Each kernel is a hand-written RV32IMF loop whose instruction
+// mix, memory behaviour, and parallel structure match the hot loop of the
+// corresponding Rodinia benchmark (the paper cross-compiles the suite with
+// -O3; we reproduce the loop bodies such compilation produces: pointer
+// bumping, fused multiply-adds, predicated inner branches).
+//
+// Every kernel carries a data generator and an output verifier computed in
+// Go with identical float32 semantics, so the functional simulator, the CPU
+// timing model's machine, and the spatial accelerator can all be checked for
+// bit-exact agreement.
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mesa/internal/isa"
+	"mesa/internal/mem"
+)
+
+// Standard memory layout: arrays live at fixed, well-separated addresses.
+const (
+	ArrA    = 0x0010_0000
+	ArrB    = 0x0020_0000
+	ArrC    = 0x0030_0000
+	ArrD    = 0x0040_0000
+	ArrE    = 0x0050_0000
+	ArrOut  = 0x0060_0000
+	Scalars = 0x0008_0000
+)
+
+// CodeBase is where kernel programs are assembled.
+const CodeBase = 0x0000_1000
+
+// Kernel is one benchmark workload.
+type Kernel struct {
+	Name        string
+	Description string
+
+	// Parallel marks loops annotated `omp parallel for` in the Rodinia
+	// source: iterations are independent, so MESA may tile/pipeline and the
+	// multicore baseline may chunk.
+	Parallel bool
+
+	// N is the trip count of the hot loop.
+	N int
+
+	// build assembles the program executing iterations [lo, hi).
+	build func(lo, hi int) (*isa.Program, uint32)
+
+	// setup initializes input arrays.
+	setup func(m *mem.Memory, rng *rand.Rand)
+
+	// verify checks outputs for iterations [lo, hi).
+	verify func(m *mem.Memory, lo, hi int) error
+}
+
+// Program returns the full-range program and the hot loop's start address.
+func (k *Kernel) Program() (*isa.Program, uint32) { return k.build(0, k.N) }
+
+// ChunkProgram returns the program for one static chunk of a parallel
+// kernel (used by the multicore baseline).
+func (k *Kernel) ChunkProgram(chunk, chunks int) (*isa.Program, uint32) {
+	lo := chunk * k.N / chunks
+	hi := (chunk + 1) * k.N / chunks
+	return k.build(lo, hi)
+}
+
+// NewMemory returns a freshly initialized memory for the kernel.
+func (k *Kernel) NewMemory(seed int64) *mem.Memory {
+	m := mem.NewMemory()
+	k.setup(m, rand.New(rand.NewSource(seed)))
+	return m
+}
+
+// Verify checks the kernel's output for the full range.
+func (k *Kernel) Verify(m *mem.Memory) error { return k.verify(m, 0, k.N) }
+
+// VerifyRange checks outputs for iterations [lo, hi).
+func (k *Kernel) VerifyRange(m *mem.Memory, lo, hi int) error { return k.verify(m, lo, hi) }
+
+// All returns every kernel in the suite, in the order the figures report
+// them.
+func All() []*Kernel {
+	return []*Kernel{
+		NN(), Kmeans(), Hotspot(), CFD(), Backprop(), Pathfinder(),
+		BFS(), SRAD(), LUD(), NW(), Streamcluster(), BTree(),
+		Gaussian(), Hotspot3D(), LavaMD(), Myocyte(), ParticleFilter(),
+	}
+}
+
+// ByName returns the named kernel or an error.
+func ByName(name string) (*Kernel, error) {
+	for _, k := range All() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return nil, fmt.Errorf("kernels: unknown kernel %q", name)
+}
+
+// Names lists the kernel names in report order.
+func Names() []string {
+	ks := All()
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = k.Name
+	}
+	return out
+}
+
+// f32near checks approximate equality for verification (the engines are
+// bit-identical; the tolerance only guards the Go-side recomputation).
+func f32near(a, b float32) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	mag := a
+	if mag < 0 {
+		mag = -mag
+	}
+	if b > mag {
+		mag = b
+	}
+	if -b > mag {
+		mag = -b
+	}
+	return d <= 1e-5*mag+1e-30
+}

@@ -1,0 +1,202 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mesa/internal/isa"
+)
+
+func TestMemoryWordRoundTrip(t *testing.T) {
+	m := NewMemory()
+	m.StoreWord(0x1000, 0xDEADBEEF)
+	if got := m.LoadWord(0x1000); got != 0xDEADBEEF {
+		t.Errorf("word = %#x", got)
+	}
+	// Little-endian byte order.
+	if m.LoadByte(0x1000) != 0xEF || m.LoadByte(0x1003) != 0xDE {
+		t.Error("byte order is not little-endian")
+	}
+	// Unwritten memory reads zero.
+	if m.LoadWord(0x9999000) != 0 {
+		t.Error("unwritten memory should read zero")
+	}
+}
+
+func TestMemoryCrossPageAccess(t *testing.T) {
+	m := NewMemory()
+	addr := uint32(pageSize - 2) // straddles the first page boundary
+	m.StoreWord(addr, 0x11223344)
+	if got := m.LoadWord(addr); got != 0x11223344 {
+		t.Errorf("cross-page word = %#x", got)
+	}
+}
+
+func TestTypedLoadsStores(t *testing.T) {
+	m := NewMemory()
+	m.StoreWord(0x100, 0x80FF7F01)
+	cases := []struct {
+		op   isa.Op
+		addr uint32
+		want uint32
+	}{
+		{isa.OpLB, 0x100, 1},
+		{isa.OpLB, 0x103, 0xFFFFFF80},
+		{isa.OpLBU, 0x103, 0x80},
+		{isa.OpLH, 0x100, 0x7F01},
+		{isa.OpLH, 0x102, 0xFFFF80FF},
+		{isa.OpLHU, 0x102, 0x80FF},
+		{isa.OpLW, 0x100, 0x80FF7F01},
+	}
+	for _, c := range cases {
+		got, err := m.Load(c.op, c.addr)
+		if err != nil || got != c.want {
+			t.Errorf("%v@%#x = %#x (%v), want %#x", c.op, c.addr, got, err, c.want)
+		}
+	}
+	if err := m.Store(isa.OpSB, 0x100, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.LoadWord(0x100); got != 0x80FF7FAB {
+		t.Errorf("after sb: %#x", got)
+	}
+	if _, err := m.Load(isa.OpADD, 0); err == nil {
+		t.Error("Load should reject non-loads")
+	}
+	if err := m.Store(isa.OpADD, 0, 0); err == nil {
+		t.Error("Store should reject non-stores")
+	}
+}
+
+func TestMemoryF32(t *testing.T) {
+	m := NewMemory()
+	m.WriteF32s(0x200, []float32{1.5, -2.25, 3})
+	got := m.ReadF32s(0x200, 3)
+	if got[0] != 1.5 || got[1] != -2.25 || got[2] != 3 {
+		t.Errorf("f32 round trip = %v", got)
+	}
+}
+
+func TestMemoryCloneAndDiff(t *testing.T) {
+	m := NewMemory()
+	m.StoreWord(0x40, 7)
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Fatal("clone should be equal")
+	}
+	c.StoreByte(0x41, 9)
+	if m.Equal(c) {
+		t.Fatal("diff not detected")
+	}
+	d := m.Diff(c, 10)
+	if len(d) != 1 || d[0] != 0x41 {
+		t.Errorf("diff = %v", d)
+	}
+}
+
+// Property: word store/load round-trips at arbitrary addresses.
+func TestMemoryQuickWordRoundTrip(t *testing.T) {
+	m := NewMemory()
+	f := func(addr, v uint32) bool {
+		m.StoreWord(addr, v)
+		return m.LoadWord(addr) == v
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheBasics(t *testing.T) {
+	c, err := NewCache(CacheConfig{Name: "t", SizeBytes: 1024, Ways: 2, LineBytes: 64, HitLatency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Lookup(0x0) {
+		t.Error("cold access should miss")
+	}
+	if !c.Lookup(0x4) {
+		t.Error("same line should hit")
+	}
+	if c.Stats().Misses != 1 || c.Stats().Accesses != 2 {
+		t.Errorf("stats = %+v", c.Stats())
+	}
+}
+
+func TestCacheLRUReplacement(t *testing.T) {
+	// 2-way, 8 sets of 64B lines: addresses 0, 1024, 2048 map to set 0.
+	c, err := NewCache(CacheConfig{Name: "t", SizeBytes: 1024, Ways: 2, LineBytes: 64, HitLatency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Lookup(0)    // miss, install
+	c.Lookup(1024) // miss, install
+	c.Lookup(0)    // hit: 1024 becomes LRU
+	c.Lookup(2048) // miss, evicts 1024
+	if !c.Lookup(0) {
+		t.Error("0 should still be resident")
+	}
+	if c.Lookup(1024) {
+		t.Error("1024 should have been evicted (LRU)")
+	}
+}
+
+func TestCacheConfigValidation(t *testing.T) {
+	bad := []CacheConfig{
+		{Name: "zero", SizeBytes: 0, Ways: 1, LineBytes: 64},
+		{Name: "nonpow2-sets", SizeBytes: 3 * 64, Ways: 1, LineBytes: 64},
+		{Name: "nonpow2-line", SizeBytes: 960, Ways: 1, LineBytes: 60},
+	}
+	for _, cfg := range bad {
+		if _, err := NewCache(cfg); err == nil {
+			t.Errorf("config %q should be rejected", cfg.Name)
+		}
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := MustHierarchy(DefaultHierarchy())
+	cfg := h.Config()
+	cold := h.AccessLatency(0x100)
+	wantCold := cfg.L1.HitLatency + cfg.L2.HitLatency + cfg.DRAMLatency
+	if cold != wantCold {
+		t.Errorf("cold access = %d, want %d", cold, wantCold)
+	}
+	warm := h.AccessLatency(0x104)
+	if warm != cfg.L1.HitLatency {
+		t.Errorf("warm access = %d, want %d", warm, cfg.L1.HitLatency)
+	}
+	if amat := h.AMAT(); amat <= float64(cfg.L1.HitLatency) || amat >= float64(wantCold) {
+		t.Errorf("AMAT = %f out of range", amat)
+	}
+}
+
+func TestHierarchyPrefetch(t *testing.T) {
+	h := MustHierarchy(DefaultHierarchy())
+	h.Prefetch(0x4000)
+	if got := h.AccessLatency(0x4000); got != h.Config().L1.HitLatency {
+		t.Errorf("prefetched access = %d, want L1 hit", got)
+	}
+}
+
+func TestHierarchyL2Capture(t *testing.T) {
+	h := MustHierarchy(DefaultHierarchy())
+	// Touch more lines than fit in L1 (64KB / 64B = 1024 lines) but fewer
+	// than L2 capacity; a second sweep should hit L2, not DRAM.
+	n := uint32(4096)
+	for i := uint32(0); i < n; i++ {
+		h.AccessLatency(i * 64)
+	}
+	cfg := h.Config()
+	lat := h.AccessLatency(0)
+	if lat != cfg.L1.HitLatency+cfg.L2.HitLatency {
+		t.Errorf("second sweep = %d, want L2 hit %d", lat, cfg.L1.HitLatency+cfg.L2.HitLatency)
+	}
+}
+
+func TestAccessBytes(t *testing.T) {
+	if AccessBytes(isa.OpLB) != 1 || AccessBytes(isa.OpSH) != 2 || AccessBytes(isa.OpLW) != 4 || AccessBytes(isa.OpFSW) != 4 {
+		t.Error("AccessBytes wrong")
+	}
+}

@@ -1,0 +1,116 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeshLatency(t *testing.T) {
+	m := Mesh{}
+	cases := []struct {
+		a, b Coord
+		want int
+	}{
+		{Coord{0, 0}, Coord{0, 0}, 0},
+		{Coord{0, 0}, Coord{0, 1}, 1},
+		{Coord{0, 0}, Coord{1, 1}, 2},
+		{Coord{2, 3}, Coord{5, 1}, 5},
+	}
+	for _, c := range cases {
+		if got := m.Latency(c.a, c.b); got != c.want {
+			t.Errorf("mesh %v->%v = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRowSliceLatency(t *testing.T) {
+	r := DefaultRowSlice()
+	if got := r.Latency(Coord{2, 0}, Coord{2, 7}); got != 1 {
+		t.Errorf("in-row = %d, want 1", got)
+	}
+	if got := r.Latency(Coord{0, 0}, Coord{1, 0}); got != 3 {
+		t.Errorf("cross-row = %d, want 3", got)
+	}
+	if got := r.Latency(Coord{1, 1}, Coord{1, 1}); got != 0 {
+		t.Errorf("self = %d, want 0", got)
+	}
+}
+
+func TestHalfRingLatency(t *testing.T) {
+	h := DefaultHalfRing()
+	// Immediate neighbors ride direct links: 1 cycle.
+	if got := h.Latency(Coord{3, 3}, Coord{3, 4}); got != 1 {
+		t.Errorf("neighbor = %d, want 1", got)
+	}
+	// Diagonal neighbors: two local hops.
+	if got := h.Latency(Coord{3, 3}, Coord{4, 4}); got != 2 {
+		t.Errorf("diagonal = %d, want 2", got)
+	}
+	// Long distance uses the NoC: inject + hops.
+	far := h.Latency(Coord{0, 0}, Coord{0, 7})
+	if far != h.InjectLat+2*h.RouterLat { // ceil(7/4)=2 slices
+		t.Errorf("far = %d", far)
+	}
+	if !h.UsesNoC(Coord{0, 0}, Coord{0, 7}) {
+		t.Error("long transfer should use the NoC")
+	}
+	if h.UsesNoC(Coord{0, 0}, Coord{0, 1}) || h.UsesNoC(Coord{2, 2}, Coord{2, 2}) {
+		t.Error("local transfers must not use the NoC")
+	}
+}
+
+func TestIdealLatency(t *testing.T) {
+	if (Ideal{}).Latency(Coord{0, 0}, Coord{63, 7}) != 0 {
+		t.Error("ideal interconnect must be free")
+	}
+}
+
+// Properties: all latencies are non-negative, symmetric, and zero iff the
+// endpoints coincide (for the distance-based models).
+func TestInterconnectProperties(t *testing.T) {
+	ics := []Interconnect{Mesh{}, DefaultRowSlice(), DefaultHalfRing()}
+	f := func(r1, c1, r2, c2 uint8) bool {
+		a := Coord{Row: int(r1 % 64), Col: int(c1 % 8)}
+		b := Coord{Row: int(r2 % 64), Col: int(c2 % 8)}
+		for _, ic := range ics {
+			l1, l2 := ic.Latency(a, b), ic.Latency(b, a)
+			if l1 < 0 || l1 != l2 {
+				return false
+			}
+			if a == b && l1 != 0 {
+				return false
+			}
+			if a != b && l1 == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mesh latency satisfies the triangle inequality.
+func TestMeshTriangleInequality(t *testing.T) {
+	m := Mesh{}
+	f := func(r1, c1, r2, c2, r3, c3 uint8) bool {
+		a := Coord{int(r1), int(c1)}
+		b := Coord{int(r2), int(c2)}
+		c := Coord{int(r3), int(c3)}
+		return m.Latency(a, c) <= m.Latency(a, b)+m.Latency(b, c)
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(8))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterconnectNames(t *testing.T) {
+	if (Mesh{}).Name() != "mesh" || DefaultHalfRing().Name() != "halfring" ||
+		DefaultRowSlice().Name() != "rowslice" || (Ideal{}).Name() != "ideal" {
+		t.Error("interconnect names wrong")
+	}
+}

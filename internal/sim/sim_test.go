@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"testing"
+
+	"mesa/internal/alu"
+	"mesa/internal/asm"
+	"mesa/internal/isa"
+	"mesa/internal/mem"
+)
+
+func run(t *testing.T, src string, setup func(*Machine)) *Machine {
+	t.Helper()
+	p, err := asm.Assemble(0x1000, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p, mem.NewMemory())
+	if setup != nil {
+		setup(m)
+	}
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCountedLoop(t *testing.T) {
+	m := run(t, `
+	li t0, 0
+	li t1, 0
+loop:
+	add t1, t1, t0
+	addi t0, t0, 1
+	blt t0, t2, loop
+	ecall
+`, func(m *Machine) { m.SetReg(isa.RegT2, 10) })
+	if got := m.Reg(isa.RegT1); got != 45 {
+		t.Errorf("sum 0..9 = %d, want 45", got)
+	}
+}
+
+func TestMemoryLoop(t *testing.T) {
+	m := run(t, `
+	li t0, 0
+	li t1, 8
+	li a0, 0x4000
+loop:
+	slli t2, t0, 2
+	add  t3, a0, t2
+	lw   t4, 0(t3)
+	slli t4, t4, 1
+	sw   t4, 64(t3)
+	addi t0, t0, 1
+	blt  t0, t1, loop
+	ecall
+`, func(m *Machine) {
+		for i := uint32(0); i < 8; i++ {
+			m.Mem.StoreWord(0x4000+4*i, i+1)
+		}
+	})
+	for i := uint32(0); i < 8; i++ {
+		if got := m.Mem.LoadWord(0x4040 + 4*i); got != 2*(i+1) {
+			t.Errorf("out[%d] = %d, want %d", i, got, 2*(i+1))
+		}
+	}
+	if m.Stats.ByClass[isa.ClassLoad] != 8 || m.Stats.ByClass[isa.ClassStore] != 8 {
+		t.Errorf("mem class counts = %d/%d", m.Stats.ByClass[isa.ClassLoad], m.Stats.ByClass[isa.ClassStore])
+	}
+}
+
+func TestFloatDotProduct(t *testing.T) {
+	m := run(t, `
+	li   t0, 0
+	li   t1, 4
+	li   a0, 0x4000
+	li   a1, 0x5000
+	fmv.w.x fa0, zero
+loop:
+	slli t2, t0, 2
+	add  t3, a0, t2
+	add  t4, a1, t2
+	flw  ft0, 0(t3)
+	flw  ft1, 0(t4)
+	fmadd.s fa0, ft0, ft1, fa0
+	addi t0, t0, 1
+	blt  t0, t1, loop
+	ecall
+`, func(m *Machine) {
+		m.Mem.WriteF32s(0x4000, []float32{1, 2, 3, 4})
+		m.Mem.WriteF32s(0x5000, []float32{5, 6, 7, 8})
+	})
+	if got := m.F(isa.FPReg(10)); got != 70 {
+		t.Errorf("dot = %g, want 70", got)
+	}
+}
+
+func TestForwardBranch(t *testing.T) {
+	m := run(t, `
+	li t0, 0
+	li t1, 10
+	li t3, 0
+loop:
+	andi t2, t0, 1
+	beq  t2, zero, skip
+	addi t3, t3, 1
+skip:
+	addi t0, t0, 1
+	blt  t0, t1, loop
+	ecall
+`, nil)
+	if got := m.Reg(isa.RegT0 + 2); got != 5 { // t2 is x7; check odd counter t3=x28
+		_ = got
+	}
+	if got := m.Reg(isa.X28); got != 5 {
+		t.Errorf("odd count = %d, want 5", got)
+	}
+}
+
+func TestJALAndJALR(t *testing.T) {
+	m := run(t, `
+	li   a0, 5
+	jal  ra, double
+	addi a1, a0, 0
+	ecall
+double:
+	slli a0, a0, 1
+	ret
+`, nil)
+	if got := m.Reg(isa.RegA1); got != 10 {
+		t.Errorf("a1 = %d, want 10", got)
+	}
+}
+
+func TestX0AlwaysZero(t *testing.T) {
+	m := run(t, `
+	addi zero, zero, 5
+	add  t0, zero, zero
+	ecall
+`, nil)
+	if m.Reg(isa.X0) != 0 || m.Reg(isa.RegT0) != 0 {
+		t.Error("x0 must stay zero")
+	}
+}
+
+func TestPCOutsideProgramErrors(t *testing.T) {
+	p := asm.MustAssemble(0x1000, "nop") // no ecall: runs off the end
+	m := New(p, mem.NewMemory())
+	if err := m.Step(); err != nil {
+		t.Fatalf("first step: %v", err)
+	}
+	if err := m.Step(); err == nil {
+		t.Fatal("expected PC-out-of-range error")
+	}
+}
+
+func TestRunMaxStepsExceeded(t *testing.T) {
+	p := asm.MustAssemble(0x1000, "loop: j loop")
+	m := New(p, mem.NewMemory())
+	if _, err := m.Run(100); err == nil {
+		t.Fatal("expected non-halting error")
+	}
+}
+
+func TestTracerSeesEvents(t *testing.T) {
+	var events []Event
+	tracerFn := tracerFunc(func(ev Event) { events = append(events, ev) })
+	p := asm.MustAssemble(0x1000, `
+	li t0, 1
+	sw t0, 0(t1)
+	beq t0, t0, done
+	nop
+done:
+	ecall
+`)
+	m := New(p, mem.NewMemory())
+	m.SetReg(isa.RegT1, 0x4000)
+	m.Attach(tracerFn)
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 { // li, sw, beq(taken), ecall — nop skipped
+		t.Fatalf("saw %d events, want 4", len(events))
+	}
+	if !events[1].IsMem || events[1].Addr != 0x4000 {
+		t.Errorf("store event = %+v", events[1])
+	}
+	if !events[2].Taken || events[2].NextPC != events[2].Inst.BranchTarget() {
+		t.Errorf("branch event = %+v", events[2])
+	}
+}
+
+type tracerFunc func(Event)
+
+func (f tracerFunc) Trace(ev Event) { f(ev) }
+
+func TestFloatRegisterAccess(t *testing.T) {
+	m := New(asm.MustAssemble(0, "ecall"), mem.NewMemory())
+	m.SetF(isa.F3, 2.5)
+	if m.F(isa.F3) != 2.5 {
+		t.Error("SetF/F round trip broken")
+	}
+	if m.Reg(isa.F3) != alu.F32(2.5) {
+		t.Error("FP registers should store bit patterns")
+	}
+}
