@@ -1,0 +1,26 @@
+# Pre-merge checks for the MESA reproduction.
+#
+#   make ci          # everything a PR must pass: vet + test + test-race
+#   make test        # tier-1: go build + go test
+#   make test-race   # the sweep fan-out must be race-clean
+
+GO ?= go
+
+.PHONY: ci build vet test test-race bench
+
+ci: vet test test-race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -132,7 +132,7 @@ func BenchmarkTimeShareExtension(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	prog, loopStart := k.Program()
+	prog, loopStart := k.MustProgram()
 	for i := 0; i < b.N; i++ {
 		be := accel.M64()
 		opts := core.DefaultOptions(be)
@@ -160,7 +160,7 @@ func nnRegion(b *testing.B) ([]isa.Inst, *accel.Config) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	prog, loopStart := k.Program()
+	prog, loopStart := k.MustProgram()
 	var end uint32
 	for _, in := range prog.Insts {
 		if in.IsBackwardBranch() && in.BranchTarget() == loopStart {
@@ -237,7 +237,7 @@ func BenchmarkFunctionalSim(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	prog, _ := k.Program()
+	prog, _ := k.MustProgram()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		machine := sim.New(prog, k.NewMemory(experiments.Seed))
@@ -255,7 +255,7 @@ func BenchmarkCPUTimingModel(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	prog, _ := k.Program()
+	prog, _ := k.MustProgram()
 	cfg := cpu.DefaultBOOM()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -273,7 +273,7 @@ func BenchmarkEndToEndOffload(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	prog, loopStart := k.Program()
+	prog, loopStart := k.MustProgram()
 	be := accel.M128()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

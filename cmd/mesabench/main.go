@@ -3,16 +3,23 @@
 //
 // Usage:
 //
-//	mesabench            # run everything
-//	mesabench fig11      # run one experiment: fig2, fig8, fig11..fig16, table1, table2
+//	mesabench                 # run everything
+//	mesabench fig11           # run one experiment: fig2, fig8, fig11..fig16, table1, table2
+//	mesabench -parallel 8     # fan the sweeps out over 8 workers
+//	mesabench -json fig12     # structured output
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
+
+	"mesa/internal/experiments"
 )
 
 type experiment struct {
@@ -36,14 +43,32 @@ var all = []experiment{
 	{"ablations", renderAblations, dataAblations},
 }
 
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), "usage: mesabench [flags] [experiment ...]\n")
+	fmt.Fprintf(flag.CommandLine.Output(), "available experiments:")
+	for _, e := range all {
+		fmt.Fprintf(flag.CommandLine.Output(), " %s", e.name)
+	}
+	fmt.Fprintln(flag.CommandLine.Output())
+	flag.PrintDefaults()
+}
+
 func main() {
-	asJSON := false
+	asJSON := flag.Bool("json", false, "emit structured JSON instead of rendered tables")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker count for the experiment sweeps; 1 runs everything serially")
+	flag.Usage = usage
+	flag.Parse() // exits 2 with usage on unrecognized flags
+
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "mesabench: invalid -parallel %d\n", *parallel)
+		usage()
+		os.Exit(2)
+	}
+	experiments.SetWorkers(*parallel)
+
 	selected := map[string]bool{}
-	for _, arg := range os.Args[1:] {
-		if arg == "-json" || arg == "--json" {
-			asJSON = true
-			continue
-		}
+	for _, arg := range flag.Args() {
 		selected[strings.ToLower(arg)] = true
 	}
 	known := map[string]bool{}
@@ -53,27 +78,36 @@ func main() {
 	for name := range selected {
 		if !known[name] {
 			fmt.Fprintf(os.Stderr, "mesabench: unknown experiment %q\n", name)
-			fmt.Fprintf(os.Stderr, "available:")
-			for _, e := range all {
-				fmt.Fprintf(os.Stderr, " %s", e.name)
-			}
-			fmt.Fprintln(os.Stderr)
+			usage()
 			os.Exit(2)
 		}
 	}
 
-	if asJSON {
+	var chosen []experiment
+	for _, e := range all {
+		if len(selected) == 0 || selected[e.name] {
+			chosen = append(chosen, e)
+		}
+	}
+
+	if *asJSON {
+		// Experiments are independent; fan them out and assemble the object
+		// afterwards so the output does not depend on completion order.
+		values, err := experiments.Run(context.Background(), *parallel, len(chosen),
+			func(_ context.Context, i int) (any, error) {
+				v, err := chosen[i].data()
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", chosen[i].name, err)
+				}
+				return v, nil
+			})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mesabench: %v\n", err)
+			os.Exit(1)
+		}
 		results := map[string]any{}
-		for _, e := range all {
-			if len(selected) > 0 && !selected[e.name] {
-				continue
-			}
-			v, err := e.data()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "mesabench: %s: %v\n", e.name, err)
-				os.Exit(1)
-			}
-			results[e.name] = v
+		for i, e := range chosen {
+			results[e.name] = values[i]
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -84,16 +118,24 @@ func main() {
 		return
 	}
 
-	for _, e := range all {
-		if len(selected) > 0 && !selected[e.name] {
-			continue
-		}
-		start := time.Now()
-		out, err := e.run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mesabench: %s: %v\n", e.name, err)
-			os.Exit(1)
-		}
-		fmt.Printf("==== %s (%.2fs) ====\n%s\n", e.name, time.Since(start).Seconds(), out)
+	type rendered struct {
+		out     string
+		seconds float64
+	}
+	outputs, err := experiments.Run(context.Background(), *parallel, len(chosen),
+		func(_ context.Context, i int) (rendered, error) {
+			start := time.Now()
+			out, err := chosen[i].run()
+			if err != nil {
+				return rendered{}, fmt.Errorf("%s: %w", chosen[i].name, err)
+			}
+			return rendered{out: out, seconds: time.Since(start).Seconds()}, nil
+		})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mesabench: %v\n", err)
+		os.Exit(1)
+	}
+	for i, e := range chosen {
+		fmt.Printf("==== %s (%.2fs) ====\n%s\n", e.name, outputs[i].seconds, outputs[i].out)
 	}
 }

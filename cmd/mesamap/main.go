@@ -50,7 +50,10 @@ func run(name, backendName string, emitDot bool) error {
 		return fmt.Errorf("unknown backend %q", backendName)
 	}
 
-	prog, loopStart := k.Program()
+	prog, loopStart, err := k.Program()
+	if err != nil {
+		return fmt.Errorf("%s: %w", k.Name, err)
+	}
 	var end uint32
 	for _, in := range prog.Insts {
 		if in.IsBackwardBranch() && in.BranchTarget() == loopStart {

@@ -68,7 +68,10 @@ func run(name, backendName string, cores int, noTiling, noPipeline bool, timeSha
 		return fmt.Errorf("unknown backend %q", backendName)
 	}
 
-	prog, loopStart := k.Program()
+	prog, loopStart, err := k.Program()
+	if err != nil {
+		return fmt.Errorf("%s failed to assemble: %w", k.Name, err)
+	}
 	fmt.Printf("kernel %s: %d instructions, hot loop at %#x, %d iterations, parallel=%v\n",
 		k.Name, len(prog.Insts), loopStart, k.N, k.Parallel)
 
@@ -94,7 +97,10 @@ func run(name, backendName string, cores int, noTiling, noPipeline bool, timeSha
 	baseline := single.Cycles
 	if k.Parallel && cores > 1 {
 		par, err := cpu.TimeParallel(mc, func(chunk, n int) (*cpu.Result, error) {
-			p, _ := k.ChunkProgram(chunk, n)
+			p, _, err := k.ChunkProgram(chunk, n)
+			if err != nil {
+				return nil, fmt.Errorf("%s chunk %d/%d failed to assemble: %w", k.Name, chunk, n, err)
+			}
 			return cpu.Time(mc.Core, p, k.NewMemory(experimentsSeed), mem.MustHierarchy(mem.DefaultHierarchy()), maxSteps)
 		})
 		if err != nil {

@@ -26,7 +26,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	prog, loopStart := k.Program()
+	prog, loopStart := k.MustProgram()
 	var end uint32
 	for _, in := range prog.Insts {
 		if in.IsBackwardBranch() && in.BranchTarget() == loopStart {

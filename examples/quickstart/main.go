@@ -26,7 +26,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	prog, loopStart := k.Program()
+	prog, loopStart := k.MustProgram()
 	fmt.Printf("kernel %q: %s\n", k.Name, k.Description)
 
 	// CPU baseline: functional machine + trace-driven OoO timing model.

@@ -14,7 +14,7 @@ func graphFor(t *testing.T, name string) *core.LDFG {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, loopStart := k.Program()
+	prog, loopStart := k.MustProgram()
 	be := accel.M128()
 	var end uint32
 	for _, in := range prog.Insts {

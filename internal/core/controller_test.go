@@ -19,7 +19,7 @@ func TestControllerEndToEndAllKernels(t *testing.T) {
 	for _, k := range kernels.All() {
 		k := k
 		t.Run(k.Name, func(t *testing.T) {
-			prog, loopStart := k.Program()
+			prog, loopStart := k.MustProgram()
 
 			// Reference: pure functional execution.
 			refMem := k.NewMemory(42)
@@ -96,7 +96,7 @@ func TestControllerM64RejectsSRAD(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, _ := k.Program()
+	prog, _ := k.MustProgram()
 	be := accel.M64()
 	ctl := NewController(DefaultOptions(be))
 	m := k.NewMemory(42)
@@ -122,7 +122,7 @@ func TestControllerConfigCacheHit(t *testing.T) {
 	}
 	// Build a program with the nn loop executed twice by wrapping: easiest
 	// equivalent is running the controller twice with the same instance.
-	prog, _ := k.Program()
+	prog, _ := k.MustProgram()
 	be := accel.M128()
 	ctl := NewController(DefaultOptions(be))
 	hier := mem.MustHierarchy(mem.DefaultHierarchy())
@@ -155,7 +155,7 @@ func TestControllerIterativeOptimization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, loopStart := k.Program()
+	prog, loopStart := k.MustProgram()
 	be := accel.M128()
 	opts := DefaultOptions(be)
 	opts.Detector.ParallelLoops = map[uint32]bool{loopStart: true}

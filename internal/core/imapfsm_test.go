@@ -13,7 +13,7 @@ func TestImapFSMMatchesCostFormula(t *testing.T) {
 	for _, k := range kernels.All() {
 		k := k
 		t.Run(k.Name, func(t *testing.T) {
-			prog, loopStart := k.Program()
+			prog, loopStart := k.MustProgram()
 			var end uint32
 			for _, in := range prog.Insts {
 				if in.IsBackwardBranch() && in.BranchTarget() == loopStart {
@@ -59,7 +59,7 @@ func TestImapFSMTimingDiagram(t *testing.T) {
 		t.Fatal(err)
 	}
 	be := accel.M128()
-	prog, loopStart := k.Program()
+	prog, loopStart := k.MustProgram()
 	var end uint32
 	for _, in := range prog.Insts {
 		if in.IsBackwardBranch() && in.BranchTarget() == loopStart {

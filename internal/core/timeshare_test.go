@@ -23,7 +23,7 @@ func TestTimeShareMapsSRADOnM64(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, loopStart := k.Program()
+	prog, loopStart := k.MustProgram()
 	be := accel.M64()
 
 	// Baseline: still rejected without the extension.
@@ -81,7 +81,7 @@ func TestTimeShareCorrectDifferential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, _ := k.Program()
+	prog, _ := k.MustProgram()
 
 	refMem := k.NewMemory(7)
 	refMachine := sim.New(prog, refMem)
@@ -125,7 +125,7 @@ func TestTimeShareSlowerThanSpatial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, loopStart := k.Program()
+	prog, loopStart := k.MustProgram()
 	run := func(rows, cols, share int) float64 {
 		be := accel.M128()
 		be.Rows, be.Cols = rows, cols

@@ -141,7 +141,7 @@ func TestControllerRecordsEstimate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, _ := k.Program()
+	prog, _ := k.MustProgram()
 	ctl := NewController(DefaultOptions(accel.M128()))
 	report, _, err := ctl.Run(prog, k.NewMemory(42), mem.MustHierarchy(mem.DefaultHierarchy()), 50_000_000)
 	if err != nil {

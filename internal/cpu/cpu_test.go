@@ -180,7 +180,7 @@ func TestKernelsRunUnderTimingModel(t *testing.T) {
 	for _, k := range kernels.All() {
 		k := k
 		t.Run(k.Name, func(t *testing.T) {
-			prog, _ := k.Program()
+			prog, _ := k.MustProgram()
 			m := k.NewMemory(42)
 			hier := mem.MustHierarchy(mem.DefaultHierarchy())
 			res, err := Time(cfg, prog, m, hier, 20_000_000)
@@ -206,14 +206,14 @@ func TestTimeParallelScales(t *testing.T) {
 	}
 	mc := DefaultMulticore()
 	par, err := TimeParallel(mc, func(chunk, cores int) (*Result, error) {
-		prog, _ := k.ChunkProgram(chunk, cores)
+		prog, _ := k.MustChunkProgram(chunk, cores)
 		hier := mem.MustHierarchy(mem.DefaultHierarchy())
 		return Time(mc.Core, prog, k.NewMemory(42), hier, 20_000_000)
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, _ := k.Program()
+	prog, _ := k.MustProgram()
 	hier := mem.MustHierarchy(mem.DefaultHierarchy())
 	serial, err := Time(mc.Core, prog, k.NewMemory(42), hier, 20_000_000)
 	if err != nil {

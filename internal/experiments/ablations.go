@@ -21,15 +21,47 @@ import (
 // metrics across the kernel suite.
 
 // regionFor extracts a kernel's hot-loop body.
-func regionFor(k *kernels.Kernel) []isa.Inst {
-	prog, loopStart := k.Program()
+func regionFor(k *kernels.Kernel) ([]isa.Inst, error) {
+	prog, loopStart, err := k.Program()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", k.Name, err)
+	}
 	var end uint32
 	for _, in := range prog.Insts {
 		if in.IsBackwardBranch() && in.BranchTarget() == loopStart {
 			end = in.Addr + 4
 		}
 	}
-	return prog.Slice(loopStart, end)
+	return prog.Slice(loopStart, end), nil
+}
+
+// mapOutcome is one kernel's mapping result inside an ablation sweep.
+type mapOutcome struct {
+	ok    bool // mapping succeeded (ablations skip kernels that do not map)
+	lat   float64
+	stats core.MapStats
+}
+
+// mapSuite maps every kernel's hot loop onto the backend with the given
+// mapper options, fanned out over the sweep worker pool. Each task builds a
+// private mapper (Mapper carries probe state) and LDFG.
+func mapSuite(opts core.MapperOptions, be *accel.Config) ([]mapOutcome, error) {
+	ks := kernels.All()
+	return runAll(len(ks), func(i int) (mapOutcome, error) {
+		body, err := regionFor(ks[i])
+		if err != nil {
+			return mapOutcome{}, err
+		}
+		l, err := core.BuildLDFG(body, be.EstimateLat)
+		if err != nil {
+			return mapOutcome{}, err
+		}
+		s, stats, err := core.NewMapper(opts).Map(l, be)
+		if err != nil {
+			return mapOutcome{}, nil // kernel does not map under this config
+		}
+		return mapOutcome{ok: true, lat: s.Evaluate().Total, stats: *stats}, nil
+	})
 }
 
 // WindowAblationRow is one candidate-window configuration.
@@ -61,23 +93,21 @@ func WindowAblation() ([]WindowAblationRow, error) {
 	for _, cfg := range configs {
 		opts := core.DefaultMapperOptions()
 		opts.WindowRows, opts.WindowCols = cfg.r, cfg.c
-		mapper := core.NewMapper(opts)
+		outcomes, err := mapSuite(opts, be)
+		if err != nil {
+			return nil, err
+		}
 		var lats []float64
 		var cand, red, insts, bus int
-		for _, k := range kernels.All() {
-			l, err := core.BuildLDFG(regionFor(k), be.EstimateLat)
-			if err != nil {
-				return nil, err
-			}
-			s, stats, err := mapper.Map(l, be)
-			if err != nil {
+		for _, o := range outcomes {
+			if !o.ok {
 				continue
 			}
-			lats = append(lats, s.Evaluate().Total)
-			cand += stats.CandidatesScanned
-			red += stats.ReductionCycles
-			insts += stats.Nodes
-			bus += stats.BusFallbacks
+			lats = append(lats, o.lat)
+			cand += o.stats.CandidatesScanned
+			red += o.stats.ReductionCycles
+			insts += o.stats.Nodes
+			bus += o.stats.BusFallbacks
 		}
 		rows = append(rows, WindowAblationRow{
 			Name: cfg.name, WindowRows: cfg.r, Cols: cfg.c,
@@ -103,20 +133,18 @@ func TieBreakAblation() (*TieBreakAblationResult, error) {
 	for _, disable := range []bool{false, true} {
 		opts := core.DefaultMapperOptions()
 		opts.DisableTieBreak = disable
-		mapper := core.NewMapper(opts)
+		outcomes, err := mapSuite(opts, be)
+		if err != nil {
+			return nil, err
+		}
 		var lats []float64
 		bus := 0
-		for _, k := range kernels.All() {
-			l, err := core.BuildLDFG(regionFor(k), be.EstimateLat)
-			if err != nil {
-				return nil, err
-			}
-			s, stats, err := mapper.Map(l, be)
-			if err != nil {
+		for _, o := range outcomes {
+			if !o.ok {
 				continue
 			}
-			lats = append(lats, s.Evaluate().Total)
-			bus += stats.BusFallbacks
+			lats = append(lats, o.lat)
+			bus += o.stats.BusFallbacks
 		}
 		if disable {
 			res.WithoutGeomean, res.WithoutBusFalls = geomean(lats), bus
@@ -157,12 +185,14 @@ func MemOptAblation() ([]MemOptAblationRow, error) {
 	var baseline []float64
 	var rows []MemOptAblationRow
 	for ci, cfg := range configs {
-		var totals []float64
-		row := MemOptAblationRow{Name: cfg.name}
-		for _, name := range subset {
-			k, err := kernels.ByName(name)
+		type kernelRun struct {
+			total float64
+			stats regionStats
+		}
+		runs, err := runAll(len(subset), func(i int) (kernelRun, error) {
+			k, err := kernels.ByName(subset[i])
 			if err != nil {
-				return nil, err
+				return kernelRun{}, err
 			}
 			be := accel.M128()
 			be.EnablePrefetch = cfg.prefetch
@@ -170,12 +200,20 @@ func MemOptAblation() ([]MemOptAblationRow, error) {
 
 			total, stats, err := runRegionSerial(k, be, cfg.forwarding)
 			if err != nil {
-				return nil, err
+				return kernelRun{}, err
 			}
-			totals = append(totals, total)
-			row.TotalPrefetches += stats.Prefetches
-			row.TotalForwarded += stats.Forwarded + uint64(stats.StaticFwd)
-			row.TotalCoalesced += stats.Coalesced
+			return kernelRun{total: total, stats: stats}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var totals []float64
+		row := MemOptAblationRow{Name: cfg.name}
+		for _, r := range runs {
+			totals = append(totals, r.total)
+			row.TotalPrefetches += r.stats.Prefetches
+			row.TotalForwarded += r.stats.Forwarded + uint64(r.stats.StaticFwd)
+			row.TotalCoalesced += r.stats.Coalesced
 		}
 		row.GeomeanIterLat = geomean(totals)
 		if ci == 0 {
@@ -200,8 +238,14 @@ type regionStats struct {
 // runRegionSerial executes a kernel's hot loop serially on the accelerator
 // with explicit LDFG options and returns the average iteration latency.
 func runRegionSerial(k *kernels.Kernel, be *accel.Config, forwarding bool) (float64, regionStats, error) {
-	prog, loopStart := k.Program()
-	body := regionFor(k)
+	prog, loopStart, err := k.Program()
+	if err != nil {
+		return 0, regionStats{}, err
+	}
+	body, err := regionFor(k)
+	if err != nil {
+		return 0, regionStats{}, err
+	}
 	l, err := core.BuildLDFGOpts(body, be.EstimateLat, core.LDFGOptions{DisableForwarding: !forwarding})
 	if err != nil {
 		return 0, regionStats{}, err
@@ -314,20 +358,18 @@ func InterconnectAblation() ([]InterconnectAblationRow, error) {
 	for _, ic := range nets {
 		be := accel.M128()
 		be.Interconnect = ic
-		mapper := core.NewMapper(core.DefaultMapperOptions())
+		outcomes, err := mapSuite(core.DefaultMapperOptions(), be)
+		if err != nil {
+			return nil, err
+		}
 		var lats []float64
 		bus := 0
-		for _, k := range kernels.All() {
-			l, err := core.BuildLDFG(regionFor(k), be.EstimateLat)
-			if err != nil {
-				return nil, err
-			}
-			s, stats, err := mapper.Map(l, be)
-			if err != nil {
+		for _, o := range outcomes {
+			if !o.ok {
 				continue
 			}
-			lats = append(lats, s.Evaluate().Total)
-			bus += stats.BusFallbacks
+			lats = append(lats, o.lat)
+			bus += o.stats.BusFallbacks
 		}
 		rows = append(rows, InterconnectAblationRow{
 			Name: ic.Name(), GeomeanModeledIter: geomean(lats), BusFallbacks: bus,
@@ -352,7 +394,10 @@ func TimeShareAblation() (*TimeShareAblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	prog, loopStart := k.Program()
+	prog, loopStart, err := k.Program()
+	if err != nil {
+		return nil, err
+	}
 	res := &TimeShareAblationResult{}
 
 	run := func(be *accel.Config, share int) (float64, bool, error) {

@@ -33,7 +33,10 @@ type CPURun struct {
 
 // TimeSingleCore times a kernel on one out-of-order core.
 func TimeSingleCore(k *kernels.Kernel, cfg cpu.Config) (*CPURun, error) {
-	prog, _ := k.Program()
+	prog, _, err := k.Program()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", k.Name, err)
+	}
 	hier := mem.MustHierarchy(mem.DefaultHierarchy())
 	res, err := cpu.Time(cfg, prog, k.NewMemory(Seed), hier, MaxSteps)
 	if err != nil {
@@ -55,7 +58,10 @@ func TimeMulticore(k *kernels.Kernel, mc cpu.MulticoreConfig) (*CPURun, error) {
 		return r, nil
 	}
 	res, err := cpu.TimeParallel(mc, func(chunk, cores int) (*cpu.Result, error) {
-		prog, _ := k.ChunkProgram(chunk, cores)
+		prog, _, err := k.ChunkProgram(chunk, cores)
+		if err != nil {
+			return nil, err
+		}
 		hier := mem.MustHierarchy(mem.DefaultHierarchy())
 		return cpu.Time(mc.Core, prog, k.NewMemory(Seed), hier, MaxSteps)
 	})
@@ -99,7 +105,10 @@ type MESAOptions struct {
 // fails detection or mapping is reported with Qualified=false and CPU-only
 // cycles.
 func RunMESA(k *kernels.Kernel, be *accel.Config, cpuPerIter float64, o MESAOptions) (*MESARun, error) {
-	prog, loopStart := k.Program()
+	prog, loopStart, err := k.Program()
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", k.Name, be.Name, err)
+	}
 	opts := core.DefaultOptions(be)
 	if k.Parallel {
 		opts.Detector.ParallelLoops = map[uint32]bool{loopStart: true}

@@ -44,31 +44,35 @@ type Figure11Result struct {
 	PaperEnergyM512  float64
 }
 
-// Figure11 runs the experiment.
+// Figure11 runs the experiment. The per-kernel measurements are independent
+// seeded simulations, so they fan out over the sweep worker pool; results
+// are reduced in kernel order, making the figure identical for any worker
+// count.
 func Figure11() (*Figure11Result, error) {
-	mc := cpu.DefaultMulticore()
 	res := &Figure11Result{
 		PaperSpeedupM128: 1.33, PaperSpeedupM512: 1.81,
 		PaperEnergyM128: 1.86, PaperEnergyM512: 1.92,
 	}
-	var sp128, sp512, ee128, ee512 []float64
-	for _, k := range kernels.All() {
+	ks := kernels.All()
+	rows, err := runAll(len(ks), func(i int) (Figure11Row, error) {
+		k := ks[i]
+		mc := cpu.DefaultMulticore() // private: Config carries an FU map
 		single, err := TimeSingleCore(k, mc.Core)
 		if err != nil {
-			return nil, err
+			return Figure11Row{}, err
 		}
 		cpuPerIter := single.Cycles / float64(k.N)
 		multi, err := TimeMulticore(k, mc)
 		if err != nil {
-			return nil, err
+			return Figure11Row{}, err
 		}
 		m128, err := RunMESA(k, accel.M128(), cpuPerIter, MESAOptions{})
 		if err != nil {
-			return nil, err
+			return Figure11Row{}, err
 		}
 		m512, err := RunMESA(k, accel.M512(), cpuPerIter, MESAOptions{})
 		if err != nil {
-			return nil, err
+			return Figure11Row{}, err
 		}
 		row := Figure11Row{
 			Kernel:        k.Name,
@@ -89,6 +93,13 @@ func Figure11() (*Figure11Result, error) {
 		} else {
 			row.M512EnergyEff = multi.EnergyNJ / single.EnergyNJ
 		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sp128, sp512, ee128, ee512 []float64
+	for _, row := range rows {
 		res.Rows = append(res.Rows, row)
 		sp128 = append(sp128, row.M128Speedup)
 		sp512 = append(sp512, row.M512Speedup)

@@ -45,33 +45,33 @@ type Figure12Result struct {
 	GeomeanOptRatio   float64 // MESA-opt IPC / OpenCGRA IPC
 }
 
-// Figure12 runs the experiment.
+// Figure12 runs the experiment, fanning the per-kernel comparisons out over
+// the sweep worker pool.
 func Figure12() (*Figure12Result, error) {
 	res := &Figure12Result{}
-	var noOptRatios, optRatios []float64
-	cpuCfg := cpu.DefaultBOOM()
-	for _, name := range Figure12Kernels {
+	rows, err := runAll(len(Figure12Kernels), func(i int) (Figure12Row, error) {
+		name := Figure12Kernels[i]
 		k, err := kernels.ByName(name)
 		if err != nil {
-			return nil, err
+			return Figure12Row{}, err
 		}
-		single, err := TimeSingleCore(k, cpuCfg)
+		single, err := TimeSingleCore(k, cpu.DefaultBOOM())
 		if err != nil {
-			return nil, err
+			return Figure12Row{}, err
 		}
 		cpuPerIter := single.Cycles / float64(k.N)
 
 		be := accel.M128()
 		noOpt, err := RunMESA(k, be, cpuPerIter, MESAOptions{DisableLoopOpts: true, DisableOptimization: true})
 		if err != nil {
-			return nil, err
+			return Figure12Row{}, err
 		}
 		opt, err := RunMESA(k, be, cpuPerIter, MESAOptions{})
 		if err != nil {
-			return nil, err
+			return Figure12Row{}, err
 		}
 		if !noOpt.Qualified || !opt.Qualified {
-			return nil, fmt.Errorf("figure12: %s did not qualify", name)
+			return Figure12Row{}, fmt.Errorf("figure12: %s did not qualify", name)
 		}
 
 		// OpenCGRA: modulo-schedule the same LDFG on a same-sized array.
@@ -81,7 +81,7 @@ func Figure12() (*Figure12Result, error) {
 		ldfg := noOpt.Region.LDFG
 		sched, err := opencgra.ModuloSchedule(ldfg.Graph, opencgra.Default(be.Rows, be.Cols))
 		if err != nil {
-			return nil, err
+			return Figure12Row{}, err
 		}
 
 		ops := ldfg.Graph.Len()
@@ -95,6 +95,13 @@ func Figure12() (*Figure12Result, error) {
 		row.MESANoOptIPC = float64(ops) / row.MESANoOptCPI
 		row.OpenCGRAIPC = float64(ops) / row.OpenCGRACPI
 		row.MESAOptIPC = float64(ops) / row.MESAOptCPI
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var noOptRatios, optRatios []float64
+	for _, row := range rows {
 		res.Rows = append(res.Rows, row)
 		noOptRatios = append(noOptRatios, row.MESANoOptIPC/row.OpenCGRAIPC)
 		optRatios = append(optRatios, row.MESAOptIPC/row.OpenCGRAIPC)

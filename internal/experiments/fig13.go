@@ -37,27 +37,33 @@ type Figure13Result struct {
 	PaperComputeMemoryFrac float64 // ≈0.87
 }
 
-// Figure13 runs the experiment.
+// Figure13 runs the experiment, fanning the per-kernel runs out over the
+// sweep worker pool and summing the breakdowns in kernel order.
 func Figure13() (*Figure13Result, error) {
-	var total energy.Breakdown
-	cpuCfg := cpu.DefaultBOOM()
-	for _, name := range Figure13Kernels {
+	parts, err := runAll(len(Figure13Kernels), func(i int) (energy.Breakdown, error) {
+		name := Figure13Kernels[i]
 		k, err := kernels.ByName(name)
 		if err != nil {
-			return nil, err
+			return energy.Breakdown{}, err
 		}
-		single, err := TimeSingleCore(k, cpuCfg)
+		single, err := TimeSingleCore(k, cpu.DefaultBOOM())
 		if err != nil {
-			return nil, err
+			return energy.Breakdown{}, err
 		}
 		run, err := RunMESA(k, accel.M128(), single.Cycles/float64(k.N), MESAOptions{})
 		if err != nil {
-			return nil, err
+			return energy.Breakdown{}, err
 		}
 		if !run.Qualified {
-			return nil, fmt.Errorf("figure13: %s did not qualify", name)
+			return energy.Breakdown{}, fmt.Errorf("figure13: %s did not qualify", name)
 		}
-		b := run.Breakdown
+		return run.Breakdown, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var total energy.Breakdown
+	for _, b := range parts {
 		total.ComputeNJ += b.ComputeNJ
 		total.MemoryNJ += b.MemoryNJ
 		total.NoCNJ += b.NoCNJ

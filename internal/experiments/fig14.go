@@ -49,29 +49,30 @@ type Figure14Result struct {
 	PaperDyna    float64 // 1.42
 }
 
-// Figure14 runs the experiment.
+// Figure14 runs the experiment, fanning the per-kernel comparisons out over
+// the sweep worker pool.
 func Figure14() (*Figure14Result, error) {
 	res := &Figure14Result{PaperM64: 1.86, PaperM64Iter: 2.01, PaperDyna: 1.42}
-	cpuCfg := cpu.SingleIssue() // the DynaSpAM paper's smaller gem5 core
-	var m64s, m64is, dynas []float64
-	for _, name := range Figure14Kernels {
+	rows, err := runAll(len(Figure14Kernels), func(i int) (Figure14Row, error) {
+		name := Figure14Kernels[i]
 		k, err := kernels.ByName(name)
 		if err != nil {
-			return nil, err
+			return Figure14Row{}, err
 		}
-		single, err := TimeSingleCore(k, cpuCfg)
+		// The DynaSpAM paper's smaller gem5 core.
+		single, err := TimeSingleCore(k, cpu.SingleIssue())
 		if err != nil {
-			return nil, err
+			return Figure14Row{}, err
 		}
 		cpuPerIter := single.Cycles / float64(k.N)
 
 		noIter, err := RunMESA(k, accel.M64(), cpuPerIter, MESAOptions{DisableOptimization: true})
 		if err != nil {
-			return nil, err
+			return Figure14Row{}, err
 		}
 		withIter, err := RunMESA(k, accel.M64(), cpuPerIter, MESAOptions{})
 		if err != nil {
-			return nil, err
+			return Figure14Row{}, err
 		}
 
 		row := Figure14Row{
@@ -86,7 +87,7 @@ func Figure14() (*Figure14Result, error) {
 		// array; non-loop instructions stay on the core.
 		dyn, err := dynaSpamCycles(k, cpuPerIter)
 		if err != nil {
-			return nil, err
+			return Figure14Row{}, err
 		}
 		row.DynaSpAMQualified = dyn > 0
 		if dyn > 0 {
@@ -94,7 +95,13 @@ func Figure14() (*Figure14Result, error) {
 		} else {
 			row.DynaSpAMSpeedup = 1.0
 		}
-
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var m64s, m64is, dynas []float64
+	for _, row := range rows {
 		res.Rows = append(res.Rows, row)
 		m64s = append(m64s, row.M64Speedup)
 		m64is = append(m64is, row.M64IterSpeedup)
@@ -109,7 +116,10 @@ func Figure14() (*Figure14Result, error) {
 // dynaSpamCycles models the kernel's hot loop on the DynaSpAM array.
 // Returns 0 when the loop does not qualify.
 func dynaSpamCycles(k *kernels.Kernel, cpuPerIter float64) (float64, error) {
-	prog, loopStart := k.Program()
+	prog, loopStart, err := k.Program()
+	if err != nil {
+		return 0, err
+	}
 	var end uint32
 	for _, in := range prog.Insts {
 		if in.IsBackwardBranch() && in.BranchTarget() == loopStart {

@@ -66,11 +66,14 @@ func Figure15() (*Figure15Result, error) {
 	}
 
 	res := &Figure15Result{}
-	var base float64
-	for _, pes := range Figure15PECounts {
+	// Each PE count is an independent pair of simulations; fan them out and
+	// normalize against the first configuration once all points are in.
+	type pair struct{ def, ideal meas }
+	pairs, err := runAll(len(Figure15PECounts), func(i int) (pair, error) {
+		pes := Figure15PECounts[i]
 		def, err := measure(accel.WithPEs(pes))
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
 		ideal := accel.WithPEs(pes)
 		ideal.Name += "-idealmem"
@@ -79,18 +82,22 @@ func Figure15() (*Figure15Result, error) {
 		ideal.MemPorts = 512
 		im, err := measure(ideal)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
-		if base == 0 {
-			base = def.cycles
-		}
+		return pair{def: def, ideal: im}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := pairs[0].def.cycles
+	for i, p := range pairs {
 		res.Points = append(res.Points, Figure15Point{
-			PEs:         pes,
-			Default:     base / def.cycles,
-			IdealMemory: base / im.cycles,
-			IdealPE:     float64(pes) / float64(Figure15PECounts[0]),
-			Tiles:       def.tiles,
-			Bound:       def.bound,
+			PEs:         Figure15PECounts[i],
+			Default:     base / p.def.cycles,
+			IdealMemory: base / p.ideal.cycles,
+			IdealPE:     float64(Figure15PECounts[i]) / float64(Figure15PECounts[0]),
+			Tiles:       p.def.tiles,
+			Bound:       p.def.bound,
 		})
 	}
 	for _, p := range res.Points {

@@ -45,7 +45,10 @@ func Figure16() (*Figure16Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	prog, loopStart := k.Program()
+	prog, loopStart, err := k.Program()
+	if err != nil {
+		return nil, err
+	}
 	be := accel.M128()
 
 	// Build the mapped region directly so iteration counts can be swept.

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestRunOrdersResultsByTaskIndex(t *testing.T) {
+	for _, workers := range []int{1, 4, 32} {
+		results, err := Run(context.Background(), workers, 100, func(_ context.Context, i int) (int, error) {
+			if i%7 == 0 {
+				time.Sleep(time.Millisecond) // scramble completion order
+			}
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(results) != 100 {
+			t.Fatalf("workers=%d: got %d results", workers, len(results))
+		}
+		for i, r := range results {
+			if r != i*i {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, r, i*i)
+			}
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexedError(t *testing.T) {
+	boom := func(i int) error { return fmt.Errorf("task %d failed", i) }
+	for _, workers := range []int{1, 4} {
+		_, err := Run(context.Background(), workers, 50, func(_ context.Context, i int) (int, error) {
+			if i == 13 || i == 37 {
+				return 0, boom(i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "task 13 failed" {
+			t.Fatalf("workers=%d: err = %v, want task 13's error", workers, err)
+		}
+	}
+}
+
+func TestRunCapturesPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Run(context.Background(), workers, 8, func(_ context.Context, i int) (int, error) {
+			if i == 3 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Task != 3 || pe.Value != "kaboom" || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: panic error = %+v", workers, pe)
+		}
+	}
+}
+
+func TestRunStopsDispatchAfterError(t *testing.T) {
+	// Serial mode must stop at the failing task, like the loops it replaces.
+	ran := 0
+	_, err := Run(context.Background(), 1, 10, func(_ context.Context, i int) (int, error) {
+		ran++
+		if i == 2 {
+			return 0, errors.New("stop here")
+		}
+		return i, nil
+	})
+	if err == nil || ran != 3 {
+		t.Fatalf("ran %d tasks (err=%v), want 3", ran, err)
+	}
+}
+
+func TestRunHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, 4, 10, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	results, err := Run(context.Background(), 4, 0, func(_ context.Context, i int) (int, error) {
+		t.Fatal("task ran for n=0")
+		return 0, nil
+	})
+	if err != nil || results != nil {
+		t.Fatalf("got %v, %v", results, err)
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", Workers())
+	}
+	if got := SetWorkers(5); got != 3 {
+		t.Fatalf("SetWorkers returned %d, want previous value 3", got)
+	}
+}

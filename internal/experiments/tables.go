@@ -81,33 +81,45 @@ func Table2() (*Table2Result, error) {
 		PerKernel: map[string]int{},
 		MinCycles: 1 << 30,
 	}
-	for _, k := range kernels.All() {
-		prog, loopStart := k.Program()
-		var end uint32
-		for _, in := range prog.Insts {
-			if in.IsBackwardBranch() && in.BranchTarget() == loopStart {
-				end = in.Addr + 4
-			}
-		}
-		l, err := core.BuildLDFG(prog.Slice(loopStart, end), be.EstimateLat)
+	ks := kernels.All()
+	type kernelCost struct {
+		name   string
+		total  int
+		mapped bool
+	}
+	costs, err := runAll(len(ks), func(i int) (kernelCost, error) {
+		k := ks[i]
+		body, err := regionFor(k)
 		if err != nil {
-			return nil, err
+			return kernelCost{}, err
+		}
+		l, err := core.BuildLDFG(body, be.EstimateLat)
+		if err != nil {
+			return kernelCost{}, err
 		}
 		_, stats, err := core.NewMapper(core.DefaultMapperOptions()).Map(l, be)
 		if err != nil {
-			continue // region does not map on this backend
+			return kernelCost{name: k.Name}, nil // region does not map on this backend
 		}
 		tiles := 1
 		if k.Parallel {
 			tiles = 8
 		}
-		total := core.EstimateConfigCost(l, stats, tiles).Total()
-		res.PerKernel[k.Name] = total
-		if total < res.MinCycles {
-			res.MinCycles = total
+		return kernelCost{name: k.Name, total: core.EstimateConfigCost(l, stats, tiles).Total(), mapped: true}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range costs {
+		if !c.mapped {
+			continue
 		}
-		if total > res.MaxCycles {
-			res.MaxCycles = total
+		res.PerKernel[c.name] = c.total
+		if c.total < res.MinCycles {
+			res.MinCycles = c.total
+		}
+		if c.total > res.MaxCycles {
+			res.MaxCycles = c.total
 		}
 	}
 	res.MinMicros = float64(res.MinCycles) / (be.ClockGHz * 1e3)
@@ -214,14 +226,11 @@ func Figure8() (*Figure8Result, error) {
 		return nil, err
 	}
 	be := accel.M128()
-	prog, loopStart := k.Program()
-	var end uint32
-	for _, in := range prog.Insts {
-		if in.IsBackwardBranch() && in.BranchTarget() == loopStart {
-			end = in.Addr + 4
-		}
+	body, err := regionFor(k)
+	if err != nil {
+		return nil, err
 	}
-	l, err := core.BuildLDFG(prog.Slice(loopStart, end), be.EstimateLat)
+	l, err := core.BuildLDFG(body, be.EstimateLat)
 	if err != nil {
 		return nil, err
 	}

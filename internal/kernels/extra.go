@@ -14,7 +14,7 @@ import (
 // element (the multiplier column).
 func Gaussian() *Kernel {
 	const n = 8192
-	build := func(lo, hi int) (*isa.Program, uint32) {
+	build := func(lo, hi int) (*isa.Program, uint32, error) {
 		b := asm.NewBuilder(CodeBase)
 		b.LI(isa.RegA0, int32(ArrA+4*lo)) // a (in/out)
 		b.LI(isa.RegA1, int32(ArrB+4*lo)) // pivot row b
@@ -34,8 +34,11 @@ func Gaussian() *Kernel {
 		b.ADDI(isa.RegT0, isa.RegT0, 1)
 		b.BLT(isa.RegT0, isa.RegT1, "loop")
 		b.ECALL()
-		p := b.MustProgram()
-		return p, p.Symbols["loop"]
+		p, err := b.Program()
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, p.Symbols["loop"], nil
 	}
 	var a []float32
 	setup := func(m *mem.Memory, rng *rand.Rand) {
@@ -71,7 +74,7 @@ func Hotspot3D() *Kernel {
 	const plane = 1024 // w * w
 	const n = 4096     // interior cells
 	const cc, cn, ct = float32(0.4), float32(0.09), float32(0.06)
-	build := func(lo, hi int) (*isa.Program, uint32) {
+	build := func(lo, hi int) (*isa.Program, uint32, error) {
 		b := asm.NewBuilder(CodeBase)
 		base := plane + w + 1 + lo
 		b.LI(isa.RegA0, int32(ArrA+4*base))   // temperature (center)
@@ -103,8 +106,11 @@ func Hotspot3D() *Kernel {
 		b.ADDI(isa.RegT0, isa.RegT0, 1)
 		b.BLT(isa.RegT0, isa.RegT1, "loop")
 		b.ECALL()
-		p := b.MustProgram()
-		return p, p.Symbols["loop"]
+		p, err := b.Program()
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, p.Symbols["loop"], nil
 	}
 	setup := func(m *mem.Memory, rng *rand.Rand) {
 		m.StoreF32(Scalars, cc)
@@ -141,7 +147,7 @@ func Hotspot3D() *Kernel {
 func LavaMD() *Kernel {
 	const n = 4096
 	const eps = float32(0.5)
-	build := func(lo, hi int) (*isa.Program, uint32) {
+	build := func(lo, hi int) (*isa.Program, uint32, error) {
 		b := asm.NewBuilder(CodeBase)
 		b.LI(isa.RegA0, int32(ArrA+4*lo))   // neighbor x
 		b.LI(isa.RegA1, int32(ArrB+4*lo))   // neighbor y
@@ -178,8 +184,11 @@ func LavaMD() *Kernel {
 		b.ADDI(isa.RegT0, isa.RegT0, 1)
 		b.BLT(isa.RegT0, isa.RegT1, "loop")
 		b.ECALL()
-		p := b.MustProgram()
-		return p, p.Symbols["loop"]
+		p, err := b.Program()
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, p.Symbols["loop"], nil
 	}
 	px, py, pz := float32(1.5), float32(-0.5), float32(2.0)
 	setup := func(m *mem.Memory, rng *rand.Rand) {
@@ -224,7 +233,7 @@ func LavaMD() *Kernel {
 func Myocyte() *Kernel {
 	const n = 4096
 	const c3, c2, c1, c0, dt = float32(0.002), float32(-0.05), float32(0.3), float32(0.1), float32(0.01)
-	build := func(lo, hi int) (*isa.Program, uint32) {
+	build := func(lo, hi int) (*isa.Program, uint32, error) {
 		b := asm.NewBuilder(CodeBase)
 		b.LI(isa.RegA0, int32(ArrA+4*lo))   // v (in)
 		b.LI(isa.RegA1, int32(ArrOut+4*lo)) // v' (out)
@@ -248,8 +257,11 @@ func Myocyte() *Kernel {
 		b.ADDI(isa.RegT0, isa.RegT0, 1)
 		b.BLT(isa.RegT0, isa.RegT1, "loop")
 		b.ECALL()
-		p := b.MustProgram()
-		return p, p.Symbols["loop"]
+		p, err := b.Program()
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, p.Symbols["loop"], nil
 	}
 	setup := func(m *mem.Memory, rng *rand.Rand) {
 		for j, c := range []float32{c3, c2, c1, c0, dt} {
@@ -284,7 +296,7 @@ func Myocyte() *Kernel {
 func ParticleFilter() *Kernel {
 	const n = 4096
 	const table = 256
-	build := func(lo, hi int) (*isa.Program, uint32) {
+	build := func(lo, hi int) (*isa.Program, uint32, error) {
 		b := asm.NewBuilder(CodeBase)
 		b.LI(isa.RegA0, int32(ArrA+4*lo)) // observation index (int)
 		b.LI(isa.RegA1, int32(ArrB+4*lo)) // particle weight
@@ -306,8 +318,11 @@ func ParticleFilter() *Kernel {
 		b.ADDI(isa.RegT0, isa.RegT0, 1)
 		b.BLT(isa.RegT0, isa.RegT1, "loop")
 		b.ECALL()
-		p := b.MustProgram()
-		return p, p.Symbols["loop"]
+		p, err := b.Program()
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, p.Symbols["loop"], nil
 	}
 	setup := func(m *mem.Memory, rng *rand.Rand) {
 		for i := 0; i < n; i++ {

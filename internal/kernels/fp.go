@@ -18,7 +18,7 @@ func sqrtf(x float32) float32 { return float32(math.Sqrt(float64(x))) }
 func NN() *Kernel {
 	const n = 8192
 	const qlat, qlng = float32(30.5), float32(120.25)
-	build := func(lo, hi int) (*isa.Program, uint32) {
+	build := func(lo, hi int) (*isa.Program, uint32, error) {
 		b := asm.NewBuilder(CodeBase)
 		b.LI(isa.RegA0, int32(ArrA+4*lo))   // lat
 		b.LI(isa.RegA1, int32(ArrB+4*lo))   // lng
@@ -43,8 +43,11 @@ func NN() *Kernel {
 		b.ADDI(isa.RegT0, isa.RegT0, 1)
 		b.BLT(isa.RegT0, isa.RegT1, "loop")
 		b.ECALL()
-		p := b.MustProgram()
-		return p, p.Symbols["loop"]
+		p, err := b.Program()
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, p.Symbols["loop"], nil
 	}
 	setup := func(m *mem.Memory, rng *rand.Rand) {
 		m.StoreF32(Scalars, qlat)
@@ -81,7 +84,7 @@ func Kmeans() *Kernel {
 	const n = 8192
 	const f = 4
 	centroid := [f]float32{10.5, -3.25, 7.75, 0.5}
-	build := func(lo, hi int) (*isa.Program, uint32) {
+	build := func(lo, hi int) (*isa.Program, uint32, error) {
 		b := asm.NewBuilder(CodeBase)
 		b.LI(isa.RegA0, int32(ArrA+16*lo))  // features
 		b.LI(isa.RegA1, int32(ArrOut+4*lo)) // distances
@@ -106,8 +109,11 @@ func Kmeans() *Kernel {
 		b.ADDI(isa.RegT0, isa.RegT0, 1)
 		b.BLT(isa.RegT0, isa.RegT1, "loop")
 		b.ECALL()
-		p := b.MustProgram()
-		return p, p.Symbols["loop"]
+		p, err := b.Program()
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, p.Symbols["loop"], nil
 	}
 	setup := func(m *mem.Memory, rng *rand.Rand) {
 		for j := 0; j < f; j++ {
@@ -146,7 +152,7 @@ func Hotspot() *Kernel {
 	const w = 64   // grid width
 	const n = 8192 // interior cells processed
 	const k1, k2 = float32(0.175), float32(0.035)
-	build := func(lo, hi int) (*isa.Program, uint32) {
+	build := func(lo, hi int) (*isa.Program, uint32, error) {
 		b := asm.NewBuilder(CodeBase)
 		base := w + lo                        // skip the first row
 		b.LI(isa.RegA0, int32(ArrA+4*base))   // temperature (center)
@@ -178,8 +184,11 @@ func Hotspot() *Kernel {
 		b.ADDI(isa.RegT0, isa.RegT0, 1)
 		b.BLT(isa.RegT0, isa.RegT1, "loop")
 		b.ECALL()
-		p := b.MustProgram()
-		return p, p.Symbols["loop"]
+		p, err := b.Program()
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, p.Symbols["loop"], nil
 	}
 	setup := func(m *mem.Memory, rng *rand.Rand) {
 		m.StoreF32(Scalars, k1)
@@ -220,7 +229,7 @@ func Hotspot() *Kernel {
 // (simplified 2D Euler flux with pressure term; division-heavy).
 func CFD() *Kernel {
 	const n = 4096
-	build := func(lo, hi int) (*isa.Program, uint32) {
+	build := func(lo, hi int) (*isa.Program, uint32, error) {
 		b := asm.NewBuilder(CodeBase)
 		b.LI(isa.RegA0, int32(ArrA+4*lo))   // density
 		b.LI(isa.RegA1, int32(ArrB+4*lo))   // momentum x
@@ -258,8 +267,11 @@ func CFD() *Kernel {
 		b.ADDI(isa.RegT0, isa.RegT0, 1)
 		b.BLT(isa.RegT0, isa.RegT1, "loop")
 		b.ECALL()
-		p := b.MustProgram()
-		return p, p.Symbols["loop"]
+		p, err := b.Program()
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, p.Symbols["loop"], nil
 	}
 	setup := func(m *mem.Memory, rng *rand.Rand) {
 		m.StoreF32(Scalars, 0.5)
@@ -305,7 +317,7 @@ func CFD() *Kernel {
 func Backprop() *Kernel {
 	const n = 8192
 	const etaDelta = float32(0.0625)
-	build := func(lo, hi int) (*isa.Program, uint32) {
+	build := func(lo, hi int) (*isa.Program, uint32, error) {
 		b := asm.NewBuilder(CodeBase)
 		b.LI(isa.RegA0, int32(ArrA+4*lo)) // weights (in/out)
 		b.LI(isa.RegA1, int32(ArrB+4*lo)) // inputs
@@ -323,8 +335,11 @@ func Backprop() *Kernel {
 		b.ADDI(isa.RegT0, isa.RegT0, 1)
 		b.BLT(isa.RegT0, isa.RegT1, "loop")
 		b.ECALL()
-		p := b.MustProgram()
-		return p, p.Symbols["loop"]
+		p, err := b.Program()
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, p.Symbols["loop"], nil
 	}
 	var weights []float32
 	setup := func(m *mem.Memory, rng *rand.Rand) {
@@ -357,7 +372,7 @@ func Backprop() *Kernel {
 func LUD() *Kernel {
 	const n = 8192
 	const pivot = float32(0.375)
-	build := func(lo, hi int) (*isa.Program, uint32) {
+	build := func(lo, hi int) (*isa.Program, uint32, error) {
 		b := asm.NewBuilder(CodeBase)
 		b.LI(isa.RegA0, int32(ArrA+4*lo)) // a (in/out)
 		b.LI(isa.RegA1, int32(ArrB+4*lo)) // row
@@ -375,8 +390,11 @@ func LUD() *Kernel {
 		b.ADDI(isa.RegT0, isa.RegT0, 1)
 		b.BLT(isa.RegT0, isa.RegT1, "loop")
 		b.ECALL()
-		p := b.MustProgram()
-		return p, p.Symbols["loop"]
+		p, err := b.Program()
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, p.Symbols["loop"], nil
 	}
 	var a []float32
 	setup := func(m *mem.Memory, rng *rand.Rand) {
@@ -409,7 +427,7 @@ func LUD() *Kernel {
 func Streamcluster() *Kernel {
 	const n = 8192
 	const cx, cy = float32(1.5), float32(-2.5)
-	build := func(lo, hi int) (*isa.Program, uint32) {
+	build := func(lo, hi int) (*isa.Program, uint32, error) {
 		b := asm.NewBuilder(CodeBase)
 		b.LI(isa.RegA0, int32(ArrA+4*lo)) // x
 		b.LI(isa.RegA1, int32(ArrB+4*lo)) // y
@@ -437,8 +455,11 @@ func Streamcluster() *Kernel {
 		b.ADDI(isa.RegT0, isa.RegT0, 1)
 		b.BLT(isa.RegT0, isa.RegT1, "loop")
 		b.ECALL()
-		p := b.MustProgram()
-		return p, p.Symbols["loop"]
+		p, err := b.Program()
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, p.Symbols["loop"], nil
 	}
 	setup := func(m *mem.Memory, rng *rand.Rand) {
 		m.StoreF32(Scalars, cx)

@@ -14,7 +14,7 @@ import (
 // with the min computed through predicated forward branches.
 func Pathfinder() *Kernel {
 	const n = 8192
-	build := func(lo, hi int) (*isa.Program, uint32) {
+	build := func(lo, hi int) (*isa.Program, uint32, error) {
 		b := asm.NewBuilder(CodeBase)
 		b.LI(isa.RegA0, int32(ArrA+4*(1+lo))) // prev row (centered)
 		b.LI(isa.RegA1, int32(ArrB+4*(1+lo))) // src row
@@ -41,8 +41,11 @@ func Pathfinder() *Kernel {
 		b.ADDI(isa.RegT0, isa.RegT0, 1)
 		b.BLT(isa.RegT0, isa.RegT1, "loop")
 		b.ECALL()
-		p := b.MustProgram()
-		return p, p.Symbols["loop"]
+		p, err := b.Program()
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, p.Symbols["loop"], nil
 	}
 	setup := func(m *mem.Memory, rng *rand.Rand) {
 		for i := 0; i < n+2; i++ {
@@ -82,7 +85,7 @@ func Pathfinder() *Kernel {
 func BFS() *Kernel {
 	const nodes = 1024
 	const n = 8192 // edges
-	build := func(lo, hi int) (*isa.Program, uint32) {
+	build := func(lo, hi int) (*isa.Program, uint32, error) {
 		b := asm.NewBuilder(CodeBase)
 		b.LI(isa.RegA0, int32(ArrA+4*lo)) // edge sources
 		b.LI(isa.RegA1, int32(ArrB+4*lo)) // edge destinations
@@ -116,8 +119,11 @@ func BFS() *Kernel {
 		b.ADDI(isa.RegT0, isa.RegT0, 1)
 		b.BLT(isa.RegT0, isa.RegT1, "loop")
 		b.ECALL()
-		p := b.MustProgram()
-		return p, p.Symbols["loop"]
+		p, err := b.Program()
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, p.Symbols["loop"], nil
 	}
 	setup := func(m *mem.Memory, rng *rand.Rand) {
 		for i := 0; i < n; i++ {
@@ -167,7 +173,7 @@ func BFS() *Kernel {
 // dependence beyond the induction variable).
 func NW() *Kernel {
 	const n = 8192
-	build := func(lo, hi int) (*isa.Program, uint32) {
+	build := func(lo, hi int) (*isa.Program, uint32, error) {
 		b := asm.NewBuilder(CodeBase)
 		b.LI(isa.RegA0, int32(ArrA+4*lo)) // previous row (nw at 0, n at +4)
 		b.LI(isa.RegA1, int32(ArrB+4*lo)) // match scores
@@ -196,8 +202,11 @@ func NW() *Kernel {
 		b.ADDI(isa.RegT0, isa.RegT0, 1)
 		b.BLT(isa.RegT0, isa.RegT1, "loop")
 		b.ECALL()
-		p := b.MustProgram()
-		return p, p.Symbols["loop"]
+		p, err := b.Program()
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, p.Symbols["loop"], nil
 	}
 	setup := func(m *mem.Memory, rng *rand.Rand) {
 		for i := 0; i < n+2; i++ {
@@ -238,7 +247,7 @@ func BTree() *Kernel {
 	const n = 8192
 	const vals = 1024
 	const pivot = 500
-	build := func(lo, hi int) (*isa.Program, uint32) {
+	build := func(lo, hi int) (*isa.Program, uint32, error) {
 		b := asm.NewBuilder(CodeBase)
 		b.LI(isa.RegA0, int32(ArrA+4*lo)) // keys
 		b.LI(isa.RegA1, int32(ArrB+4*lo)) // index array
@@ -267,8 +276,11 @@ func BTree() *Kernel {
 		b.SW(isa.X20, 0, isa.X23)
 		b.SW(isa.X21, 4, isa.X23)
 		b.ECALL()
-		p := b.MustProgram()
-		return p, p.Symbols["loop"]
+		p, err := b.Program()
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, p.Symbols["loop"], nil
 	}
 	setup := func(m *mem.Memory, rng *rand.Rand) {
 		for i := 0; i < n; i++ {

@@ -14,6 +14,7 @@ package kernels
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"mesa/internal/isa"
 	"mesa/internal/mem"
@@ -47,7 +48,7 @@ type Kernel struct {
 	N int
 
 	// build assembles the program executing iterations [lo, hi).
-	build func(lo, hi int) (*isa.Program, uint32)
+	build func(lo, hi int) (*isa.Program, uint32, error)
 
 	// setup initializes input arrays.
 	setup func(m *mem.Memory, rng *rand.Rand)
@@ -56,15 +57,73 @@ type Kernel struct {
 	verify func(m *mem.Memory, lo, hi int) error
 }
 
+// progKey identifies one memoized build: kernel plus iteration subrange
+// (the subrange is what (chunk, cores) selects).
+type progKey struct {
+	name   string
+	lo, hi int
+}
+
+// progVal is a finished build. Programs are immutable once assembled, so a
+// single instance is shared by every caller, including concurrent ones.
+type progVal struct {
+	prog      *isa.Program
+	loopStart uint32
+	err       error
+}
+
+// progCache memoizes builds across Kernel instances (All constructs fresh
+// Kernel values on every call, so the cache is package-level and keyed by
+// name). The timing sweeps rebuild the same programs hundreds of times;
+// building each (kernel, lo, hi) once is both faster and safe to share
+// between worker goroutines.
+var progCache sync.Map // progKey -> progVal
+
+// buildCached assembles iterations [lo, hi), memoized.
+func (k *Kernel) buildCached(lo, hi int) (*isa.Program, uint32, error) {
+	key := progKey{k.Name, lo, hi}
+	if v, ok := progCache.Load(key); ok {
+		pv := v.(progVal)
+		return pv.prog, pv.loopStart, pv.err
+	}
+	prog, loopStart, err := k.build(lo, hi)
+	v, _ := progCache.LoadOrStore(key, progVal{prog, loopStart, err})
+	pv := v.(progVal)
+	return pv.prog, pv.loopStart, pv.err
+}
+
 // Program returns the full-range program and the hot loop's start address.
-func (k *Kernel) Program() (*isa.Program, uint32) { return k.build(0, k.N) }
+// The build is memoized; callers must treat the program as read-only.
+func (k *Kernel) Program() (*isa.Program, uint32, error) {
+	return k.buildCached(0, k.N)
+}
+
+// MustProgram is Program but panics on a build error, for the statically
+// known-good suite kernels.
+func (k *Kernel) MustProgram() (*isa.Program, uint32) {
+	prog, loopStart, err := k.Program()
+	if err != nil {
+		panic(fmt.Sprintf("kernels: %s: %v", k.Name, err))
+	}
+	return prog, loopStart
+}
 
 // ChunkProgram returns the program for one static chunk of a parallel
-// kernel (used by the multicore baseline).
-func (k *Kernel) ChunkProgram(chunk, chunks int) (*isa.Program, uint32) {
+// kernel (used by the multicore baseline). The build is memoized; callers
+// must treat the program as read-only.
+func (k *Kernel) ChunkProgram(chunk, chunks int) (*isa.Program, uint32, error) {
 	lo := chunk * k.N / chunks
 	hi := (chunk + 1) * k.N / chunks
-	return k.build(lo, hi)
+	return k.buildCached(lo, hi)
+}
+
+// MustChunkProgram is ChunkProgram but panics on a build error.
+func (k *Kernel) MustChunkProgram(chunk, chunks int) (*isa.Program, uint32) {
+	prog, loopStart, err := k.ChunkProgram(chunk, chunks)
+	if err != nil {
+		panic(fmt.Sprintf("kernels: %s: %v", k.Name, err))
+	}
+	return prog, loopStart
 }
 
 // NewMemory returns a freshly initialized memory for the kernel.

@@ -15,7 +15,7 @@ func TestKernelsFunctional(t *testing.T) {
 	for _, k := range All() {
 		k := k
 		t.Run(k.Name, func(t *testing.T) {
-			prog, _ := k.Program()
+			prog, _ := k.MustProgram()
 			m := k.NewMemory(seed)
 			machine := sim.New(prog, m)
 			if _, err := machine.Run(5_000_000); err != nil {
@@ -40,7 +40,7 @@ func TestKernelChunksCoverFullRange(t *testing.T) {
 			const chunks = 4
 			m := k.NewMemory(seed)
 			for c := 0; c < chunks; c++ {
-				prog, _ := k.ChunkProgram(c, chunks)
+				prog, _ := k.MustChunkProgram(c, chunks)
 				machine := sim.New(prog, m)
 				if _, err := machine.Run(5_000_000); err != nil {
 					t.Fatalf("chunk %d: %v", c, err)
@@ -59,7 +59,7 @@ func TestKernelLoopsDetectable(t *testing.T) {
 	for _, k := range All() {
 		k := k
 		t.Run(k.Name, func(t *testing.T) {
-			prog, loopStart := k.Program()
+			prog, loopStart := k.MustProgram()
 			if loopStart == 0 {
 				t.Fatal("no loop start")
 			}

@@ -24,7 +24,7 @@ func SRAD() *Kernel {
 	const unroll = 2
 	const q0 = float32(0.25)
 
-	build := func(lo, hi int) (*isa.Program, uint32) {
+	build := func(lo, hi int) (*isa.Program, uint32, error) {
 		b := asm.NewBuilder(CodeBase)
 		base := w + unroll*lo
 		b.LI(isa.RegA0, int32(ArrA+4*base))   // image J (center)
@@ -83,8 +83,11 @@ func SRAD() *Kernel {
 		b.ADDI(isa.RegT0, isa.RegT0, 1)
 		b.BLT(isa.RegT0, isa.RegT1, "loop")
 		b.ECALL()
-		p := b.MustProgram()
-		return p, p.Symbols["loop"]
+		p, err := b.Program()
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, p.Symbols["loop"], nil
 	}
 	setup := func(m *mem.Memory, rng *rand.Rand) {
 		m.StoreF32(Scalars, 0.5)
