@@ -7,6 +7,11 @@
 //	mesabench fig11           # run one experiment: fig2, fig8, fig11..fig16, table1, table2
 //	mesabench -parallel 8     # fan the sweeps out over 8 workers
 //	mesabench -json fig12     # structured output
+//	mesabench -stats s.json   # also write a worker pool metrics report
+//
+// The -stats report contains only worker-count-invariant counters, so it is
+// byte-identical between -parallel 1 and -parallel N (like the experiment
+// output itself).
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"time"
 
 	"mesa/internal/experiments"
+	"mesa/internal/obs"
 )
 
 type experiment struct {
@@ -55,6 +61,7 @@ func usage() {
 
 func main() {
 	asJSON := flag.Bool("json", false, "emit structured JSON instead of rendered tables")
+	statsFile := flag.String("stats", "", "write a unified metrics report as JSON to this file")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker count for the experiment sweeps; 1 runs everything serially")
 	flag.Usage = usage
@@ -115,6 +122,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mesabench:", err)
 			os.Exit(1)
 		}
+		writeStats(*statsFile, chosen)
 		return
 	}
 
@@ -138,4 +146,35 @@ func main() {
 	for i, e := range chosen {
 		fmt.Printf("==== %s (%.2fs) ====\n%s\n", e.name, outputs[i].seconds, outputs[i].out)
 	}
+	writeStats(*statsFile, chosen)
+}
+
+// writeStats emits the unified metrics report for a bench run. Wall-clock
+// durations are deliberately excluded: every value here is deterministic and
+// worker-count-invariant, so the file byte-compares across -parallel
+// settings. Errors are fatal — the user asked for the file.
+func writeStats(path string, chosen []experiment) {
+	if path == "" {
+		return
+	}
+	reg := obs.NewRegistry()
+	reg.Add("bench",
+		obs.M("experiments", float64(len(chosen))),
+	)
+	reg.Add("experiments.pool", experiments.PoolMetrics()...)
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mesabench:", err)
+		os.Exit(1)
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "mesabench:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "mesabench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "stats: metrics report written to %s\n", path)
 }

@@ -5,7 +5,13 @@
 // Usage:
 //
 //	mesasim [-backend M-64|M-128|M-512] [-cores N] [-no-tiling] [-no-pipeline] <kernel>
+//	mesasim -trace trace.json -stats stats.json <kernel>
 //	mesasim -list
+//
+// -trace writes the MESA run as Chrome trace-event JSON (open in
+// https://ui.perfetto.dev): CPU retirements, controller FSM phases, and
+// per-node accelerator activity on one timeline. -stats writes every
+// counter surface of the run as one JSON report.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"mesa/internal/energy"
 	"mesa/internal/kernels"
 	"mesa/internal/mem"
+	"mesa/internal/obs"
 	"mesa/internal/sim"
 )
 
@@ -28,6 +35,8 @@ func main() {
 	noTiling := flag.Bool("no-tiling", false, "disable spatial tiling")
 	noPipeline := flag.Bool("no-pipeline", false, "disable iteration pipelining")
 	timeShare := flag.Int("timeshare", 1, "time-multiplexing extension: max instructions per PE")
+	traceFile := flag.String("trace", "", "write the MESA run as Chrome trace-event JSON to this file")
+	statsFile := flag.String("stats", "", "write the unified metrics report as JSON to this file")
 	list := flag.Bool("list", false, "list available kernels")
 	flag.Parse()
 
@@ -45,13 +54,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: mesasim [flags] <kernel>   (or -list)")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *backend, *cores, *noTiling, *noPipeline, *timeShare); err != nil {
+	if err := run(flag.Arg(0), *backend, *cores, *noTiling, *noPipeline, *timeShare, *traceFile, *statsFile); err != nil {
 		fmt.Fprintln(os.Stderr, "mesasim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name, backendName string, cores int, noTiling, noPipeline bool, timeShare int) error {
+func run(name, backendName string, cores int, noTiling, noPipeline bool, timeShare int, traceFile, statsFile string) error {
 	k, err := kernels.ByName(name)
 	if err != nil {
 		return err
@@ -86,12 +95,28 @@ func run(name, backendName string, cores int, noTiling, noPipeline bool, timeSha
 	}
 	fmt.Printf("functional: %d instructions retired, output verified\n", refMachine.Stats.Retired)
 
+	// Observability: nil handles when the flags are unset (no overhead).
+	var rec *obs.Recorder
+	if traceFile != "" {
+		rec = obs.NewRecorder()
+		rec.NameProcess(obs.PIDCPUTiming, "cpu timing baseline")
+	}
+	var reg *obs.Registry
+	if statsFile != "" {
+		reg = obs.NewRegistry()
+	}
+
 	// 2. CPU timing baseline.
 	mc := cpu.DefaultMulticore()
 	mc.Cores = cores
-	single, err := cpu.Time(mc.Core, prog, k.NewMemory(experimentsSeed), mem.MustHierarchy(mem.DefaultHierarchy()), maxSteps)
+	baseHier := mem.MustHierarchy(mem.DefaultHierarchy())
+	single, err := cpu.TimeTraced(mc.Core, prog, k.NewMemory(experimentsSeed), baseHier, maxSteps, rec)
 	if err != nil {
 		return err
+	}
+	if reg.Enabled() {
+		reg.Add("cpu.baseline", single.Metrics()...)
+		reg.Add("mem.baseline", baseHier.Metrics()...)
 	}
 	fmt.Printf("CPU 1-core: %.0f cycles (IPC %.2f, AMAT %.1f)\n", single.Cycles, single.IPC, single.AMAT)
 	baseline := single.Cycles
@@ -114,6 +139,7 @@ func run(name, backendName string, cores int, noTiling, noPipeline bool, timeSha
 	opts := core.DefaultOptions(be)
 	opts.EnableTiling = !noTiling
 	opts.EnablePipelining = !noPipeline
+	opts.Recorder = rec
 	if timeShare > 1 {
 		opts.Mapper.TimeShare = timeShare
 		opts.Detector.MaxInsts = 0 // rederive capacity with the extension
@@ -124,7 +150,7 @@ func run(name, backendName string, cores int, noTiling, noPipeline bool, timeSha
 	ctl := core.NewController(opts)
 	accelMem := k.NewMemory(experimentsSeed)
 	hier := mem.MustHierarchy(mem.DefaultHierarchy())
-	report, _, err := ctl.Run(prog, accelMem, hier, maxSteps)
+	report, accelMachine, err := ctl.Run(prog, accelMem, hier, maxSteps)
 	if err != nil {
 		return err
 	}
@@ -133,6 +159,42 @@ func run(name, backendName string, cores int, noTiling, noPipeline bool, timeSha
 	}
 	if err := k.Verify(accelMem); err != nil {
 		return fmt.Errorf("accelerated verification: %w", err)
+	}
+
+	if rec.Enabled() {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events written to %s (load in https://ui.perfetto.dev)\n", rec.Len(), traceFile)
+	}
+	if reg.Enabled() {
+		reg.Add("kernel",
+			obs.M("n", float64(k.N)),
+			obs.M("instructions", float64(len(prog.Insts))),
+		)
+		reg.Add("cpu.core", accelMachine.Stats.Metrics()...)
+		reg.Add("mem", hier.Metrics()...)
+		report.AddMetrics(reg)
+		f, err := os.Create(statsFile)
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("stats: metrics report written to %s\n", statsFile)
 	}
 
 	if len(report.Regions) == 0 {

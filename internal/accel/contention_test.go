@@ -31,7 +31,7 @@ func TestNoCContention(t *testing.T) {
 	pos := make([]noc.Coord, g.Len())
 	pos[0] = noc.Coord{Row: 0, Col: 0}
 	for k := 1; k < g.Len(); k++ {
-		pos[k] = noc.Coord{Row: 10 + k, Col: 7} // far away: NoC required
+		pos[k] = noc.Coord{Row: 9 + k, Col: 7} // far away (rows 10..15): NoC required
 	}
 	hier := mem.MustHierarchy(mem.DefaultHierarchy())
 	e, err := NewEngine(cfg, g, pos, dfg.None, mem.NewMemory(), hier)

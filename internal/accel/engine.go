@@ -9,6 +9,7 @@ import (
 	"mesa/internal/isa"
 	"mesa/internal/mem"
 	"mesa/internal/noc"
+	"mesa/internal/obs"
 )
 
 // Engine executes a mapped dataflow graph on the simulated accelerator.
@@ -60,6 +61,15 @@ type Engine struct {
 
 	counters Counters
 	activity Activity
+
+	// Observability: nil rec disables tracing entirely (the hot paths pay a
+	// single nil check and never allocate). traceClock is the engine's global
+	// cycle offset; node firings within an iteration are emitted relative to
+	// it and it advances by the iteration latency, so the trace shows the
+	// serialized execution timeline.
+	rec        *obs.Recorder
+	traceClock float64
+	nodeLabel  []string
 }
 
 // Counters accumulates measured per-node and per-edge latencies — the
@@ -85,9 +95,10 @@ type Counters struct {
 	Coalesced      uint64 // accesses merged into an earlier same-line access
 	Invalidations  uint64 // loads replayed due to late-resolving stores
 	PortWaitCycles float64
-	NoCTransfers   uint64
+	NoCTransfers   uint64 // transfers riding the row-lane NoC
 	NoCWaitCycles  float64
 	LocalTransfers uint64
+	BusTransfers   uint64 // transfers over the secondary fallback bus
 }
 
 func edgeKey(from, to dfg.NodeID) uint64 {
@@ -179,6 +190,49 @@ func NewEngine(cfg *Config, g *dfg.Graph, pos []noc.Coord, loopBranch dfg.NodeID
 	return e, nil
 }
 
+// Trace thread-ID layout within the accelerator process: tid 0 is the
+// iteration track, node i fires on tid i+1, and memory ports start at
+// portTIDBase (no graph approaches 4096 nodes).
+const (
+	iterTID     = 0
+	portTIDBase = 4096
+)
+
+func nodeTID(id dfg.NodeID) int32 { return int32(id) + 1 }
+func portTID(p int) int32         { return int32(portTIDBase + p) }
+
+// AttachRecorder routes the engine's trace events to r, with this engine's
+// execution starting at global cycle base. A nil recorder disables tracing;
+// timing and functional behavior are identical either way.
+func (e *Engine) AttachRecorder(r *obs.Recorder, base float64) {
+	e.rec = r
+	e.traceClock = base
+	if !r.Enabled() {
+		return
+	}
+	if e.nodeLabel == nil {
+		e.nodeLabel = make([]string, e.g.Len())
+		for i := range e.g.Nodes {
+			e.nodeLabel[i] = fmt.Sprintf("i%d %s", i, e.g.Nodes[i].Inst.Op)
+		}
+	}
+	r.NameThread(obs.PIDAccel, iterTID, "iterations")
+	for i := range e.g.Nodes {
+		where := "bus"
+		if p := e.pos[i]; e.cfg.InBounds(p) || e.cfg.IsEdge(p) {
+			where = fmt.Sprintf("(%d,%d)", p.Row, p.Col)
+		}
+		r.NameThread(obs.PIDAccel, nodeTID(dfg.NodeID(i)), e.nodeLabel[i]+" @"+where)
+	}
+	for p := range e.portFree {
+		r.NameThread(obs.PIDAccel, portTID(p), fmt.Sprintf("mem port %d", p))
+	}
+}
+
+// TraceClock returns the engine's current global trace cycle (the base plus
+// all iteration latencies executed so far).
+func (e *Engine) TraceClock() float64 { return e.traceClock }
+
 // onBus reports whether a node fell back to the secondary bus.
 func (e *Engine) onBus(id dfg.NodeID) bool {
 	p := e.pos[id]
@@ -192,8 +246,14 @@ func (e *Engine) transfer(from, to dfg.NodeID, ready float64) float64 {
 	var lat float64
 	switch {
 	case e.onBus(from) || e.onBus(to):
+		// Fallback-bus traffic does not occupy NoC lanes: it must not count
+		// against the row-lane bandwidth bound of the initiation-interval
+		// model.
 		lat = float64(e.cfg.BusLat)
-		e.counters.NoCTransfers++
+		e.counters.BusTransfers++
+		if e.rec.Enabled() {
+			e.rec.Complete(obs.PIDAccel, nodeTID(from), "bus", "bus transfer", e.traceClock+ready, lat)
+		}
 	default:
 		a, b := e.pos[from], e.pos[to]
 		base := float64(e.cfg.Interconnect.Latency(a, b))
@@ -216,12 +276,13 @@ func (e *Engine) transfer(from, to dfg.NodeID, ready float64) float64 {
 			lat = (start - ready) + base
 			e.counters.NoCTransfers++
 			e.activity.NoC += base
+			if e.rec.Enabled() && start > ready {
+				e.rec.Complete(obs.PIDAccel, nodeTID(from), "noc", "lane wait", e.traceClock+ready, start-ready)
+			}
 		} else {
+			// Local neighbor links are part of PE power: no NoC activity.
 			lat = base
 			e.counters.LocalTransfers++
-			if base > 0 {
-				e.activity.NoC += 0 // local links are part of PE power
-			}
 		}
 	}
 	e.counters.EdgeLatSum[edgeKey(from, to)] += lat
@@ -252,6 +313,9 @@ func (e *Engine) port(ready float64, addr uint32) float64 {
 	e.portFree[best] = start + 1 // ports accept one access per cycle
 	if e.cfg.EnableVectorization {
 		e.lineGrant[addr>>lineShift] = start
+	}
+	if e.rec.Enabled() {
+		e.rec.Complete(obs.PIDAccel, portTID(best), "mem", "port grant", e.traceClock+start, 1)
 	}
 	return start
 }
@@ -526,6 +590,9 @@ func (e *Engine) RunIteration(regs *[isa.NumRegs]uint32) (IterationResult, error
 		}
 		e.counters.OpLatSum[i] += done - start
 		e.counters.OpLatN[i]++
+		if e.rec.Enabled() {
+			e.rec.Complete(obs.PIDAccel, nodeTID(id), "accel", e.nodeLabel[i], e.traceClock+start, done-start)
+		}
 		if done > total {
 			total = done
 		}
@@ -554,6 +621,10 @@ func (e *Engine) RunIteration(regs *[isa.NumRegs]uint32) (IterationResult, error
 	}
 
 	e.counters.Iterations++
+	if e.rec.Enabled() {
+		e.rec.Complete(obs.PIDAccel, iterTID, "accel", "iteration", e.traceClock, total)
+		e.traceClock += total
+	}
 	return IterationResult{Cycles: total, Continue: cont}, nil
 }
 

@@ -1,0 +1,56 @@
+package accel
+
+import "mesa/internal/obs"
+
+// AddScalars accumulates o's scalar counters into c (per-node and per-edge
+// vectors are left untouched). Used to aggregate counters across regions or
+// engine swaps for the unified stats report.
+func (c *Counters) AddScalars(o *Counters) {
+	if o == nil {
+		return
+	}
+	c.Iterations += o.Iterations
+	c.Loads += o.Loads
+	c.Stores += o.Stores
+	c.Forwarded += o.Forwarded
+	c.Prefetches += o.Prefetches
+	c.Coalesced += o.Coalesced
+	c.Invalidations += o.Invalidations
+	c.PortWaitCycles += o.PortWaitCycles
+	c.NoCTransfers += o.NoCTransfers
+	c.NoCWaitCycles += o.NoCWaitCycles
+	c.LocalTransfers += o.LocalTransfers
+	c.BusTransfers += o.BusTransfers
+}
+
+// Metrics snapshots the scalar performance counters for the stats report.
+func (c *Counters) Metrics() []obs.Metric {
+	return []obs.Metric{
+		obs.Count("iterations", c.Iterations),
+		obs.Count("loads", c.Loads),
+		obs.Count("stores", c.Stores),
+		obs.Count("forwarded", c.Forwarded),
+		obs.Count("prefetches", c.Prefetches),
+		obs.Count("coalesced", c.Coalesced),
+		obs.Count("invalidations", c.Invalidations),
+		obs.M("port_wait_cycles", c.PortWaitCycles),
+		obs.Count("noc_transfers", c.NoCTransfers),
+		obs.M("noc_wait_cycles", c.NoCWaitCycles),
+		obs.Count("local_transfers", c.LocalTransfers),
+		obs.Count("bus_transfers", c.BusTransfers),
+	}
+}
+
+// Metrics snapshots the component activity for the stats report.
+func (a Activity) Metrics() []obs.Metric {
+	return []obs.Metric{
+		obs.M("cycles", a.Cycles),
+		obs.M("int_alu_cycles", a.IntALU),
+		obs.M("fpu_cycles", a.FPU),
+		obs.M("noc_cycles", a.NoC),
+		obs.M("lsu_cycles", a.LSU),
+		obs.Count("ctrl_events", a.CtrlEvents),
+		obs.Count("mem_accesses", a.MemAccesses),
+		obs.M("pes_configured", a.PEsConfigured),
+	}
+}

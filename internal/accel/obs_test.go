@@ -1,0 +1,176 @@
+package accel
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mesa/internal/dfg"
+	"mesa/internal/isa"
+	"mesa/internal/mem"
+	"mesa/internal/noc"
+	"mesa/internal/obs"
+)
+
+// busFanout builds a producer on the grid fanning out to three consumers on
+// the fallback bus: every producer→consumer transfer rides the bus, none
+// touch the NoC.
+func busFanout(t *testing.T) (*Engine, *[isa.NumRegs]uint32) {
+	t.Helper()
+	g := dfg.NewGraph()
+	src := newNode(isa.Inst{Op: isa.OpADD, Rd: isa.X5, Rs1: isa.X6, Rs2: isa.X7, Rs3: isa.RegNone}, 1)
+	src.LiveIn[0], src.LiveIn[1] = isa.X6, isa.X7
+	srcID := g.Add(src)
+	for k := 0; k < 3; k++ {
+		n := newNode(isa.Inst{Op: isa.OpADD, Rd: isa.IntReg(8 + k), Rs1: isa.X5, Rs2: isa.X5, Rs3: isa.RegNone}, 1)
+		n.Src[0] = srcID
+		g.Add(n)
+	}
+	g.LiveOut[isa.X8] = 1
+
+	// A one-row grid with one NoC lane: aggregate lane bandwidth is exactly
+	// one transfer per cycle, so three misattributed bus transfers would
+	// claim a NoC initiation-interval bound of 3.
+	cfg := M128()
+	cfg.Rows, cfg.Cols, cfg.NoCLanesPerRow = 1, 4, 1
+	bus := noc.Coord{Row: -128, Col: -128}
+	pos := []noc.Coord{{Row: 0, Col: 0}, bus, bus, bus}
+	e, err := NewEngine(cfg, g, pos, dfg.None, mem.NewMemory(), mem.MustHierarchy(mem.DefaultHierarchy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regs [isa.NumRegs]uint32
+	regs[isa.X6], regs[isa.X7] = 1, 2
+	return e, &regs
+}
+
+// TestBusTrafficDoesNotBoundNoC is the regression test for the counter bug
+// where fallback-bus transfers were charged against row-lane NoC bandwidth:
+// a mapping with three bus transfers per iteration and zero NoC transfers
+// previously reported II=3 with bound "noc"; the correct model is II=1 with
+// bound "dependence".
+func TestBusTrafficDoesNotBoundNoC(t *testing.T) {
+	e, regs := busFanout(t)
+	res, err := e.RunLoop(regs, LoopOptions{Pipelined: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.Counters()
+	if c.BusTransfers != 3 {
+		t.Errorf("BusTransfers = %d, want 3", c.BusTransfers)
+	}
+	if c.NoCTransfers != 0 {
+		t.Errorf("NoCTransfers = %d, want 0 (bus traffic must not count as NoC)", c.NoCTransfers)
+	}
+	if res.Bound != "dependence" {
+		t.Errorf("bound = %q, want \"dependence\" (pre-fix behavior mislabels it \"noc\")", res.Bound)
+	}
+	if res.II != 1 {
+		t.Errorf("II = %v, want 1 (pre-fix behavior inflates it to 3)", res.II)
+	}
+}
+
+// TestFeedbackCountsOnlyChanges: both node and edge counts must use
+// changed-only semantics — a second Feedback with no new measurements
+// reports zero updates.
+func TestFeedbackCountsOnlyChanges(t *testing.T) {
+	e, regs := busFanout(t)
+	if _, err := e.RunIteration(regs); err != nil {
+		t.Fatal(err)
+	}
+	g := e.g
+	nodes, edges, err := e.Feedback(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edges != 3 {
+		t.Errorf("first Feedback: edges = %d, want 3 (one per measured edge)", edges)
+	}
+	// Same counters, same graph: every weight is already the measured value.
+	nodes2, edges2, err := e.Feedback(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes2 != 0 || edges2 != 0 {
+		t.Errorf("second Feedback: (nodes, edges) = (%d, %d), want (0, 0); first reported (%d, %d)",
+			nodes2, edges2, nodes, edges)
+	}
+}
+
+// TestEngineTraceEvents: with a recorder attached the engine emits node
+// firings, port grants, and iteration slices; with none attached, counters
+// and timing are identical.
+func TestEngineTraceEvents(t *testing.T) {
+	run := func(rec *obs.Recorder) (*LoopResult, Counters) {
+		g := dfg.NewGraph()
+		ld := newNode(isa.Inst{Op: isa.OpLW, Rd: isa.X5, Rs1: isa.X6, Rs2: isa.RegNone, Rs3: isa.RegNone}, 3)
+		ld.LiveIn[0] = isa.X6
+		ldID := g.Add(ld)
+		add := newNode(isa.Inst{Op: isa.OpADDI, Rd: isa.X7, Rs1: isa.X5, Rs2: isa.RegNone, Rs3: isa.RegNone, Imm: 1}, 1)
+		add.Src[0] = ldID
+		addID := g.Add(add)
+		g.LiveOut[isa.X7] = addID
+
+		memory := mem.NewMemory()
+		memory.StoreWord(0x1000, 41)
+		pos := []noc.Coord{{Row: 0, Col: -1}, {Row: 0, Col: 0}}
+		e, err := NewEngine(M128(), g, pos, dfg.None, memory, mem.MustHierarchy(mem.DefaultHierarchy()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.AttachRecorder(rec, 0)
+		var regs [isa.NumRegs]uint32
+		regs[isa.X6] = 0x1000
+		res, err := e.RunLoop(&regs, LoopOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if regs[isa.X7] != 42 {
+			t.Fatalf("x7 = %d, want 42", regs[isa.X7])
+		}
+		c := *e.Counters()
+		c.OpLatSum, c.OpLatN, c.EdgeLatSum, c.EdgeLatN = nil, nil, nil, nil
+		return res, c
+	}
+
+	rec := obs.NewRecorder()
+	traced, tracedCounters := run(rec)
+	plain, plainCounters := run(nil)
+
+	if traced.TotalCycles != plain.TotalCycles || !reflect.DeepEqual(tracedCounters, plainCounters) {
+		t.Errorf("tracing changed behavior: cycles %v vs %v, counters %+v vs %+v",
+			traced.TotalCycles, plain.TotalCycles, tracedCounters, plainCounters)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	want := map[string]bool{"accel-firing": false, "port-grant": false, "iteration": false}
+	for _, ev := range parsed.TraceEvents {
+		switch {
+		case ev.Name == "iteration":
+			want["iteration"] = true
+		case ev.Name == "port grant":
+			want["port-grant"] = true
+		case ev.Cat == "accel" && strings.HasPrefix(ev.Name, "i"):
+			want["accel-firing"] = true
+		}
+	}
+	for k, ok := range want {
+		if !ok {
+			t.Errorf("trace missing %s events", k)
+		}
+	}
+}

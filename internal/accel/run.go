@@ -43,8 +43,10 @@ type LoopResult struct {
 	// requested mode (equals AvgIterCycles when fully serialized).
 	II float64
 
-	// Bound names the throughput-limiting resource in pipelined/tiled mode:
-	// "dependence", "memports", or "noc".
+	// Bound names the throughput-limiting resource: "serial" when the loop
+	// ran fully serialized (no pipelining or tiling requested), otherwise
+	// "dependence", "memports", "noc", or — with the time-multiplexing
+	// extension — "timeshare".
 	Bound string
 
 	// Done reports that the loop's closing branch fell through (the loop
@@ -135,6 +137,8 @@ func (e *Engine) InitiationInterval(opts LoopOptions) (float64, string) {
 	memII := memPerIter / float64(e.cfg.MemPorts)
 
 	// NoC bandwidth: lanes per row, one transfer per lane per cycle.
+	// Fallback-bus transfers are counted separately (BusTransfers) and do
+	// not occupy lanes, so they are excluded here.
 	nocPerIter := float64(e.counters.NoCTransfers) / iters
 	lanes := float64(max(1, e.cfg.NoCLanesPerRow) * e.cfg.Rows)
 	nocII := nocPerIter / lanes
@@ -176,7 +180,8 @@ func (e *Engine) liveInUsed(r isa.Reg) bool {
 // Feedback writes the measured per-node operation latencies and per-edge
 // transfer latencies back into the graph's performance model — the
 // counter-driven refinement loop of the paper (F3). It returns the number
-// of node and edge weights updated.
+// of node and edge weights whose value actually changed (an edge with no
+// prior measurement counts as changed when one is adopted).
 func (e *Engine) Feedback(g *dfg.Graph) (nodes, edges int, err error) {
 	if g.Len() != e.g.Len() {
 		return 0, 0, fmt.Errorf("accel: feedback graph has %d nodes, engine has %d", g.Len(), e.g.Len())
@@ -197,8 +202,11 @@ func (e *Engine) Feedback(g *dfg.Graph) (nodes, edges int, err error) {
 		}
 		from := dfg.NodeID(key >> 32)
 		to := dfg.NodeID(key & 0xFFFFFFFF)
-		g.SetEdgeLatency(from, to, sum/float64(n))
-		edges++
+		measured := sum / float64(n)
+		if prev, ok := g.MeasuredEdgeLatency(from, to); !ok || math.Abs(measured-prev) > 1e-9 {
+			edges++
+		}
+		g.SetEdgeLatency(from, to, measured)
 	}
 	return nodes, edges, nil
 }

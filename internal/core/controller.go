@@ -7,6 +7,7 @@ import (
 	"mesa/internal/dfg"
 	"mesa/internal/isa"
 	"mesa/internal/mem"
+	"mesa/internal/obs"
 	"mesa/internal/sim"
 )
 
@@ -50,6 +51,11 @@ type Options struct {
 
 	// MaxLoopIterations is a safety bound per accelerated region.
 	MaxLoopIterations uint64
+
+	// Recorder receives the unified trace: CPU retirements, controller FSM
+	// phase changes, and accelerator events. nil (the default) disables
+	// tracing with no overhead beyond one branch per hook.
+	Recorder *obs.Recorder
 }
 
 // DefaultOptions returns the evaluation defaults for a backend.
@@ -138,6 +144,12 @@ type Controller struct {
 
 	detector *Detector
 	detected *Region
+
+	// Trace state: rec is nil when tracing is disabled; now is the global
+	// trace cycle (one retired CPU instruction displays as one cycle, and
+	// accelerated regions advance it by their serialized execution time).
+	rec *obs.Recorder
+	now float64
 }
 
 // NewController builds a controller with the given options.
@@ -169,6 +181,7 @@ func NewController(opts Options) *Controller {
 		opts:   opts,
 		mapper: NewMapper(opts.Mapper),
 		cache:  NewConfigCache(opts.ConfigCacheSize),
+		rec:    opts.Recorder,
 	}
 }
 
@@ -204,6 +217,15 @@ func (c *Controller) RunMachine(machine *sim.Machine, hier *mem.Hierarchy, maxSt
 	c.detector = NewDetector(machine.Prog, c.opts.Detector)
 	c.detected = nil
 	machine.Attach(c)
+	if c.rec.Enabled() {
+		c.rec.NameProcess(obs.PIDCPU, "cpu core (retired instructions)")
+		c.rec.NameProcess(obs.PIDController, "mesa controller")
+		c.rec.NameProcess(obs.PIDAccel, "spatial accelerator")
+		// CPU retirements ride the same sim.Tracer hook the controller's
+		// detector monitors; the controller clock keeps the track aligned
+		// with accelerated regions.
+		machine.Attach(sim.NewRetireRecorder(c.rec, func() float64 { return c.now }))
+	}
 
 	report := &Report{Rejections: c.detector.Rejections}
 	configured := make(map[uint32]*configuredRegion)
@@ -221,6 +243,9 @@ func (c *Controller) RunMachine(machine *sim.Machine, hier *mem.Hierarchy, maxSt
 			return nil, nil, err
 		}
 		steps++
+		if c.rec.Enabled() {
+			c.now++
+		}
 
 		if c.detected != nil {
 			region := c.detected
@@ -228,13 +253,27 @@ func (c *Controller) RunMachine(machine *sim.Machine, hier *mem.Hierarchy, maxSt
 			if failed[region.Start] {
 				continue
 			}
+			if c.rec.Enabled() {
+				c.rec.InstantArgs(obs.PIDController, 0, "fsm", "detect", c.now,
+					map[string]any{"pc": fmt.Sprintf("%#x", region.Start), "insts": region.Len()})
+			}
 			cr, err := c.configure(region, report, &machine.Regs)
 			if err != nil {
 				// Structural mapping failure: the region stays on the CPU.
 				failed[region.Start] = true
+				if c.rec.Enabled() {
+					c.rec.InstantArgs(obs.PIDController, 0, "fsm", "reject", c.now,
+						map[string]any{"reason": err.Error()})
+				}
 				continue
 			}
 			configured[region.Start] = cr
+			if c.rec.Enabled() {
+				cost := float64(cr.report.ConfigCost.Total())
+				c.rec.CompleteArgs(obs.PIDController, 0, "fsm", "configure", c.now, cost,
+					map[string]any{"tiles": cr.tiles, "cache_hit": cr.report.ConfigCacheHit})
+				c.now += cost
+			}
 		}
 	}
 	if !machine.Halted {
@@ -393,6 +432,8 @@ func (c *Controller) offload(cr *configuredRegion, machine *sim.Machine, hier *m
 		return err
 	}
 	rr.ConfigWords = words
+	offloadStart := c.now
+	engine.AttachRecorder(c.rec, c.now)
 
 	remaining := c.opts.MaxLoopIterations
 	round := 0
@@ -412,6 +453,7 @@ func (c *Controller) offload(cr *configuredRegion, machine *sim.Machine, hier *m
 		if err != nil {
 			return err
 		}
+		engine.AttachRecorder(c.rec, prevEngine.TraceClock())
 		rr.Activity = addActivity(rr.Activity, prevEngine.Activity())
 		return nil
 	}
@@ -435,6 +477,10 @@ func (c *Controller) offload(cr *configuredRegion, machine *sim.Machine, hier *m
 			Iterations: res.Iterations, AvgIter: res.AvgIterCycles,
 			II: res.II, Bound: res.Bound,
 		}
+		if c.rec.Enabled() {
+			c.rec.InstantArgs(obs.PIDController, 0, "fsm", "counter window", engine.TraceClock(),
+				map[string]any{"iterations": res.Iterations, "ii": res.II, "bound": res.Bound})
+		}
 
 		if checkPending {
 			checkPending = false
@@ -450,6 +496,9 @@ func (c *Controller) offload(cr *configuredRegion, machine *sim.Machine, hier *m
 				c.cache.Insert(cr.region.Start, prevSDFG, cr.ldfg, cr.tiles)
 				if err := swapEngine(prevSDFG); err != nil {
 					return err
+				}
+				if c.rec.Enabled() {
+					c.rec.Instant(obs.PIDController, 0, "fsm", "revert", engine.TraceClock())
 				}
 				optimizeDone = true
 				rr.Rounds = append(rr.Rounds, roundRep)
@@ -502,6 +551,10 @@ func (c *Controller) offload(cr *configuredRegion, machine *sim.Machine, hier *m
 					if err := swapEngine(newSDFG); err != nil {
 						return err
 					}
+					if c.rec.Enabled() {
+						c.rec.InstantArgs(obs.PIDController, 0, "fsm", "reconfigure", engine.TraceClock(),
+							map[string]any{"predicted": roundRep.Predicted})
+					}
 				}
 			}
 		}
@@ -516,6 +569,13 @@ func (c *Controller) offload(cr *configuredRegion, machine *sim.Machine, hier *m
 	rr.Activity.PEsConfigured *= float64(cr.tiles)
 	rr.Counters = engine.Counters()
 	report.AccelIterations += rr.Iterations
+
+	if c.rec.Enabled() {
+		c.now = engine.TraceClock()
+		c.rec.CompleteArgs(obs.PIDController, 0, "fsm", "offload", offloadStart, c.now-offloadStart,
+			map[string]any{"iterations": rr.Iterations, "bound": rr.Bound})
+		c.rec.Instant(obs.PIDController, 0, "fsm", "resume cpu", c.now)
+	}
 
 	// Control returns to the CPU at the loop's fall-through address.
 	machine.PC = cr.region.End

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"mesa/internal/accel"
+	"mesa/internal/obs"
+)
+
+// AddMetrics folds the run's counter surfaces into the registry: the
+// controller's own counters plus the accelerator performance counters and
+// component activity aggregated over every accelerated region. No-op on a
+// nil registry.
+func (r *Report) AddMetrics(reg *obs.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.Add("controller",
+		obs.Count("cpu_retired", r.CPURetired),
+		obs.Count("accel_iterations", r.AccelIterations),
+		obs.Count("regions", uint64(len(r.Regions))),
+		obs.Count("config_cache_hits", r.CacheHits),
+		obs.Count("config_cache_misses", r.CacheMisses),
+		obs.M("detector_stalls", float64(r.DetectorStalls)),
+	)
+
+	var counters accel.Counters
+	var activity accel.Activity
+	var overhead float64
+	var reconfigs, tiles int
+	for _, rr := range r.Regions {
+		counters.AddScalars(rr.Counters)
+		activity = addActivity(activity, rr.Activity)
+		overhead += rr.OverheadCycles
+		reconfigs += rr.Reconfigs
+		tiles += rr.Tiles
+	}
+	reg.Add("regions",
+		obs.M("overhead_cycles", overhead),
+		obs.M("reconfigurations", float64(reconfigs)),
+		obs.M("tiles", float64(tiles)),
+	)
+	reg.Add("accel.counters", counters.Metrics()...)
+	reg.Add("accel.activity", activity.Metrics()...)
+}

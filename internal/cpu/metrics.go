@@ -1,0 +1,47 @@
+package cpu
+
+import (
+	"mesa/internal/isa"
+	"mesa/internal/mem"
+	"mesa/internal/obs"
+	"mesa/internal/sim"
+)
+
+// AttachRecorder routes per-instruction timing slices (issue to complete)
+// to r on the given trace process. A nil recorder disables tracing; the
+// timing model is unaffected either way.
+func (c *Core) AttachRecorder(r *obs.Recorder, pid int32) {
+	c.rec = r
+	c.recPID = pid
+}
+
+// TimeTraced is Time with the core's per-instruction spans recorded to rec
+// on the obs.PIDCPUTiming track.
+func TimeTraced(cfg Config, prog *isa.Program, memory *mem.Memory, hier *mem.Hierarchy, maxSteps uint64, rec *obs.Recorder) (*Result, error) {
+	machine := sim.New(prog, memory)
+	core := NewCore(cfg, hier)
+	core.AttachRecorder(rec, obs.PIDCPUTiming)
+	machine.Attach(core)
+	if _, err := machine.Run(maxSteps); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Cycles:      core.Cycles(),
+		Retired:     core.Retired(),
+		IPC:         core.IPC(),
+		Mispredicts: core.Mispredicts,
+		ByClass:     machine.Stats.ByClass,
+		AMAT:        hier.AMAT(),
+	}, nil
+}
+
+// Metrics snapshots the timed run for the stats report.
+func (r *Result) Metrics() []obs.Metric {
+	return []obs.Metric{
+		obs.M("cycles", r.Cycles),
+		obs.Count("retired", r.Retired),
+		obs.M("ipc", r.IPC),
+		obs.Count("mispredicts", r.Mispredicts),
+		obs.M("amat", r.AMAT),
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"mesa/internal/isa"
 	"mesa/internal/mem"
+	"mesa/internal/obs"
 	"mesa/internal/sim"
 )
 
@@ -41,6 +42,10 @@ type Core struct {
 
 	Mispredicts uint64
 	Prefetches  uint64
+
+	// Observability: nil rec disables per-instruction trace emission.
+	rec    *obs.Recorder
+	recPID int32
 }
 
 // NewCore builds a timing model over the given memory hierarchy.
@@ -185,6 +190,10 @@ func (c *Core) Trace(ev sim.Event) {
 	c.rob[c.robHead] = retire
 	c.robHead = (c.robHead + 1) % len(c.rob)
 	c.retired++
+
+	if c.rec.Enabled() {
+		c.rec.Complete(c.recPID, 0, "cpu", in.Op.String(), start, complete-start)
+	}
 }
 
 // Cycles returns the modeled execution time so far.

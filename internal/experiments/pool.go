@@ -8,6 +8,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"mesa/internal/obs"
 )
 
 // The experiment sweeps are embarrassingly parallel: every timing run is an
@@ -34,6 +36,32 @@ func SetWorkers(n int) int {
 
 // Workers returns the current sweep worker count.
 func Workers() int { return int(defaultWorkers.Load()) }
+
+// Pool statistics for the unified stats report. Only worker-count-invariant
+// values are kept: every successful sweep executes the same tasks whether it
+// ran on 1 worker or N, so the snapshot stays byte-identical across
+// -parallel settings (the ROADMAP determinism check).
+var poolStats struct {
+	fanouts atomic.Uint64 // Run invocations
+	tasks   atomic.Uint64 // tasks executed
+	panics  atomic.Uint64 // tasks recovered from a panic
+}
+
+// PoolMetrics snapshots the worker pool's counters.
+func PoolMetrics() []obs.Metric {
+	return []obs.Metric{
+		obs.Count("fanouts", poolStats.fanouts.Load()),
+		obs.Count("tasks", poolStats.tasks.Load()),
+		obs.Count("panics", poolStats.panics.Load()),
+	}
+}
+
+// ResetPoolStats clears the pool counters (tests snapshotting deltas).
+func ResetPoolStats() {
+	poolStats.fanouts.Store(0)
+	poolStats.tasks.Store(0)
+	poolStats.panics.Store(0)
+}
 
 // PanicError is a task panic converted into an error by Run.
 type PanicError struct {
@@ -71,9 +99,12 @@ func Run[T any](ctx context.Context, workers, n int, task func(ctx context.Conte
 	results := make([]T, n)
 	errs := make([]error, n)
 
+	poolStats.fanouts.Add(1)
 	call := func(ctx context.Context, i int) {
+		poolStats.tasks.Add(1)
 		defer func() {
 			if r := recover(); r != nil {
+				poolStats.panics.Add(1)
 				errs[i] = &PanicError{Task: i, Value: r, Stack: debug.Stack()}
 			}
 		}()

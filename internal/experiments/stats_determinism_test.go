@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"mesa/internal/obs"
+)
+
+// TestPoolStatsWorkerInvariant pins the contract behind mesabench -stats:
+// the pool's snapshot holds only worker-count-invariant counters, so the
+// serialized report is byte-identical whether a sweep ran on 1 worker or 4.
+func TestPoolStatsWorkerInvariant(t *testing.T) {
+	prev := Workers()
+	defer SetWorkers(prev)
+
+	take := func(workers int) string {
+		ResetPoolStats()
+		SetWorkers(workers)
+		if _, err := Figure13(); err != nil {
+			t.Fatalf("figure13 with workers=%d: %v", workers, err)
+		}
+		reg := obs.NewRegistry()
+		reg.Add("experiments.pool", PoolMetrics()...)
+		var buf bytes.Buffer
+		if err := reg.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	serial := take(1)
+	parallel := take(4)
+	if serial != parallel {
+		t.Errorf("pool stats differ between workers=1 and workers=4\nserial:\n%s\nparallel:\n%s",
+			serial, parallel)
+	}
+
+	// The snapshot must have actually observed the sweep.
+	var saw bool
+	for _, m := range PoolMetrics() {
+		if m.Name == "tasks" && m.Value > 0 {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Error("pool stats recorded no tasks for a fanned-out sweep")
+	}
+}

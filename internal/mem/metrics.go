@@ -1,0 +1,24 @@
+package mem
+
+import "mesa/internal/obs"
+
+// Metrics snapshots one cache level's counters for the stats report.
+func (s CacheStats) Metrics(prefix string) []obs.Metric {
+	return []obs.Metric{
+		obs.Count(prefix+"_accesses", s.Accesses),
+		obs.Count(prefix+"_misses", s.Misses),
+		obs.M(prefix+"_miss_rate", s.MissRate()),
+	}
+}
+
+// Metrics snapshots the hierarchy's measured behaviour — per-level access
+// and miss counters plus the AMAT the optimizer's memory model consumes.
+func (h *Hierarchy) Metrics() []obs.Metric {
+	ms := []obs.Metric{
+		obs.Count("accesses", h.accesses),
+		obs.M("amat", h.AMAT()),
+	}
+	ms = append(ms, h.L1.Stats().Metrics("l1")...)
+	ms = append(ms, h.L2.Stats().Metrics("l2")...)
+	return ms
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestNilHandlesAreNoOps: a nil recorder and registry must be safe to call
+// everywhere the hot paths thread them.
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Error("nil recorder reports enabled")
+	}
+	r.Complete(PIDAccel, 0, "accel", "fire", 0, 1)
+	r.Instant(PIDController, 0, "fsm", "detect", 0)
+	r.NameProcess(PIDCPU, "cpu")
+	if r.Len() != 0 {
+		t.Errorf("nil recorder kept %d events", r.Len())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatalf("nil WriteTrace: %v", err)
+	}
+
+	var g *Registry
+	if g.Enabled() {
+		t.Error("nil registry reports enabled")
+	}
+	g.Add("cpu", M("cycles", 1))
+	if g.Report() != nil {
+		t.Error("nil registry produced sections")
+	}
+	buf.Reset()
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+}
+
+// TestTraceFormat: the emitted JSON must be a valid Chrome trace-event
+// object — a traceEvents array whose complete events carry durations and
+// whose metadata events sort first.
+func TestTraceFormat(t *testing.T) {
+	r := NewRecorder()
+	r.Complete(PIDAccel, 1, "accel", "i0 ADD", 10, 3)
+	r.NameProcess(PIDAccel, "accel")
+	r.Instant(PIDController, 0, "fsm", "detect", 5)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 3 {
+		t.Fatalf("traceEvents has %d entries, want 3", len(parsed.TraceEvents))
+	}
+	if parsed.TraceEvents[0]["ph"] != "M" {
+		t.Errorf("metadata event not first: %v", parsed.TraceEvents[0])
+	}
+	for _, te := range parsed.TraceEvents {
+		if te["ph"] == "X" {
+			if _, ok := te["dur"]; !ok {
+				t.Errorf("complete event missing dur: %v", te)
+			}
+		}
+	}
+}
+
+// TestRegistryDeterministic: registration order must not affect the bytes.
+func TestRegistryDeterministic(t *testing.T) {
+	render := func(order []int) string {
+		g := NewRegistry()
+		add := []func(){
+			func() { g.Add("cpu", M("ipc", 1.5), Count("retired", 100)) },
+			func() { g.Add("accel", Count("loads", 7)) },
+			func() { g.Add("cpu", M("cycles", 66)) },
+		}
+		for _, i := range order {
+			add[i]()
+		}
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a := render([]int{0, 1, 2})
+	b := render([]int{2, 0, 1})
+	if a != b {
+		t.Errorf("registration order changed the report:\n%s\nvs\n%s", a, b)
+	}
+	secs := NewRegistry()
+	secs.Add("z", M("m", 1))
+	secs.Add("a", M("m", 2))
+	rep := secs.Report()
+	if len(rep) != 2 || rep[0].Name != "a" || rep[1].Name != "z" {
+		t.Errorf("sections not sorted: %+v", rep)
+	}
+}

@@ -1,0 +1,162 @@
+// Package obs is the unified observability layer of the reproduction: a
+// structured event recorder that emits Chrome trace-event JSON (loadable in
+// Perfetto or chrome://tracing) and a metrics registry that snapshots every
+// counter surface of the simulator into one deterministic JSON report.
+//
+// Both halves are zero-overhead when disabled: a nil *Recorder and a nil
+// *Registry are valid no-op handles, so hot paths pay one predictable nil
+// check and allocate nothing. The paper's premise is counter-driven
+// refinement (§5.2, F3); this package makes the counters the optimizer
+// consumes inspectable from outside the Go API.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Process IDs partition the unified trace into Perfetto tracks. They are
+// stable across runs so saved traces remain comparable.
+const (
+	PIDCPU        = 1 // the monitored core's retired-instruction stream
+	PIDController = 2 // MESA controller FSM phases
+	PIDAccel      = 3 // accelerator node firings, NoC waits, port grants
+	PIDCPUTiming  = 4 // standalone CPU timing-model runs
+)
+
+// Event is one trace record. Timestamps and durations are in simulated
+// cycles; the writer emits them as trace microseconds, so one displayed
+// microsecond is one cycle.
+type Event struct {
+	Name  string
+	Cat   string
+	Phase byte // 'X' complete, 'i' instant, 'M' metadata
+	TS    float64
+	Dur   float64
+	PID   int32
+	TID   int32
+	Args  map[string]any
+}
+
+// Recorder accumulates trace events. The zero value is ready to use; a nil
+// *Recorder is a valid disabled recorder whose methods all no-op.
+// Recorder is safe for concurrent use, but a deterministic trace requires
+// the emitting simulation itself to be single-threaded (every simulation in
+// this repo is; parallelism lives above whole-simulation granularity).
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an enabled recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Enabled reports whether events will be kept. Callers should guard any
+// event-argument formatting with it so disabled runs allocate nothing.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Emit appends one event. No-op on a nil recorder.
+func (r *Recorder) Emit(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Complete records a duration slice [ts, ts+dur) on the given track.
+func (r *Recorder) Complete(pid, tid int32, cat, name string, ts, dur float64) {
+	r.Emit(Event{Name: name, Cat: cat, Phase: 'X', TS: ts, Dur: dur, PID: pid, TID: tid})
+}
+
+// CompleteArgs is Complete with attached key/value arguments.
+func (r *Recorder) CompleteArgs(pid, tid int32, cat, name string, ts, dur float64, args map[string]any) {
+	r.Emit(Event{Name: name, Cat: cat, Phase: 'X', TS: ts, Dur: dur, PID: pid, TID: tid, Args: args})
+}
+
+// Instant records a zero-duration marker at ts.
+func (r *Recorder) Instant(pid, tid int32, cat, name string, ts float64) {
+	r.Emit(Event{Name: name, Cat: cat, Phase: 'i', TS: ts, PID: pid, TID: tid})
+}
+
+// InstantArgs is Instant with attached key/value arguments.
+func (r *Recorder) InstantArgs(pid, tid int32, cat, name string, ts float64, args map[string]any) {
+	r.Emit(Event{Name: name, Cat: cat, Phase: 'i', TS: ts, PID: pid, TID: tid, Args: args})
+}
+
+// NameProcess attaches a display name to a pid track.
+func (r *Recorder) NameProcess(pid int32, name string) {
+	r.Emit(Event{Name: "process_name", Phase: 'M', PID: pid, Args: map[string]any{"name": name}})
+}
+
+// NameThread attaches a display name to a (pid, tid) track.
+func (r *Recorder) NameThread(pid, tid int32, name string) {
+	r.Emit(Event{Name: "thread_name", Phase: 'M', PID: pid, TID: tid, Args: map[string]any{"name": name}})
+}
+
+// Len reports the number of recorded events (0 on a nil recorder).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// traceEvent is the Chrome trace-event wire format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int32          `json:"pid"`
+	TID   int32          `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteTrace emits the recorded events as a Chrome trace-event JSON object.
+// Metadata events sort before content events; everything else keeps emission
+// order, so single-threaded simulations produce byte-deterministic traces.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	var events []Event
+	if r != nil {
+		r.mu.Lock()
+		events = append(events, r.events...)
+		r.mu.Unlock()
+	}
+	wire := make([]traceEvent, 0, len(events))
+	appendPhase := func(meta bool) {
+		for _, ev := range events {
+			if (ev.Phase == 'M') != meta {
+				continue
+			}
+			te := traceEvent{
+				Name: ev.Name, Cat: ev.Cat, Ph: string(rune(ev.Phase)),
+				TS: ev.TS, PID: ev.PID, TID: ev.TID, Args: ev.Args,
+			}
+			switch ev.Phase {
+			case 'X':
+				dur := ev.Dur
+				te.Dur = &dur
+			case 'i':
+				te.Scope = "t" // thread-scoped marker
+			}
+			wire = append(wire, te)
+		}
+	}
+	appendPhase(true)
+	appendPhase(false)
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: wire, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Metric is one named numeric measurement. float64 represents every counter
+// in the simulator exactly (they stay far below 2^53).
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// M builds a Metric.
+func M(name string, value float64) Metric { return Metric{Name: name, Value: value} }
+
+// Count builds a Metric from an integer counter.
+func Count(name string, value uint64) Metric { return Metric{Name: name, Value: float64(value)} }
+
+// Section groups the metrics of one counter surface.
+type Section struct {
+	Name    string   `json:"name"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// Registry collects metric sections from every layer of a run into one
+// report. A nil *Registry is a valid disabled handle. The emitted JSON is
+// sorted by section and metric name, so a report is byte-deterministic
+// regardless of registration order.
+type Registry struct {
+	mu       sync.Mutex
+	sections map[string][]Metric
+}
+
+// NewRegistry returns an enabled registry.
+func NewRegistry() *Registry { return &Registry{sections: make(map[string][]Metric)} }
+
+// Enabled reports whether Add calls are kept.
+func (g *Registry) Enabled() bool { return g != nil }
+
+// Add appends metrics to the named section, creating it on first use.
+// No-op on a nil registry.
+func (g *Registry) Add(section string, ms ...Metric) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.sections[section] = append(g.sections[section], ms...)
+	g.mu.Unlock()
+}
+
+// Report returns the collected sections sorted by name, each section's
+// metrics sorted by name (stable, so duplicates keep insertion order).
+func (g *Registry) Report() []Section {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Section, 0, len(g.sections))
+	for name, ms := range g.sections {
+		sorted := append([]Metric(nil), ms...)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+		out = append(out, Section{Name: name, Metrics: sorted})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteJSON emits the report as indented JSON with a trailing newline.
+func (g *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Sections []Section `json:"sections"`
+	}{Sections: g.Report()})
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"mesa/internal/isa"
+	"mesa/internal/obs"
+)
+
+// RetireRecorder is a Tracer that logs every retired instruction to an
+// obs.Recorder as one slice on the CPU track of the unified trace. It rides
+// the same hook the MESA controller monitors (function F1 in the paper), so
+// attaching it never perturbs execution.
+type RetireRecorder struct {
+	R   *obs.Recorder
+	PID int32
+
+	// Clock supplies the global cycle for each retirement. When nil, the
+	// retirement index is used (the functional machine has no clock: one
+	// retired instruction displays as one cycle).
+	Clock func() float64
+
+	n float64
+}
+
+// NewRetireRecorder builds a retire recorder for the monitored-core track.
+func NewRetireRecorder(r *obs.Recorder, clock func() float64) *RetireRecorder {
+	return &RetireRecorder{R: r, PID: obs.PIDCPU, Clock: clock}
+}
+
+// Metrics snapshots the retirement statistics for the stats report.
+func (s *Stats) Metrics() []obs.Metric {
+	ms := []obs.Metric{
+		obs.Count("retired", s.Retired),
+		obs.Count("branch_taken", s.BranchTaken),
+	}
+	for cls, n := range s.ByClass {
+		if n > 0 {
+			ms = append(ms, obs.Count("retired_"+isa.Class(cls).String(), n))
+		}
+	}
+	return ms
+}
+
+// Trace implements Tracer.
+func (t *RetireRecorder) Trace(ev Event) {
+	if !t.R.Enabled() {
+		return
+	}
+	ts := t.n
+	if t.Clock != nil {
+		ts = t.Clock()
+	}
+	t.R.Complete(t.PID, 0, "cpu", ev.Inst.Op.String(), ts, 1)
+	t.n++
+}
