@@ -1,14 +1,21 @@
 # Pre-merge checks for the MESA reproduction.
 #
-#   make ci          # everything a PR must pass: vet + test + test-race
+#   make ci          # everything a PR must pass: vet + test + test-race + bench-check
 #   make test        # tier-1: go build + go test
 #   make test-race   # the sweep fan-out must be race-clean
+#   make bench-json  # write the current performance snapshot to BENCH.json
+#   make bench-check # regression-gate the snapshot against BENCH_baseline.json
+#   make bench-attrib# write the suite-wide bottleneck attribution to ATTRIB.json
+#
+# When a PR intentionally changes performance, refresh the committed
+# baseline with `make bench-baseline` and include the diff in the PR.
 
 GO ?= go
+BENCH_TOL ?= 0.02
 
-.PHONY: ci build vet test test-race bench
+.PHONY: ci build vet test test-race bench bench-json bench-check bench-baseline bench-attrib
 
-ci: vet test test-race
+ci: vet test test-race bench-check
 
 build:
 	$(GO) build ./...
@@ -24,3 +31,15 @@ test-race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+bench-json:
+	$(GO) run ./cmd/mesabench -out BENCH.json
+
+bench-check:
+	$(GO) run ./cmd/mesabench -check BENCH_baseline.json -tol $(BENCH_TOL) -out BENCH.json
+
+bench-baseline:
+	$(GO) run ./cmd/mesabench -out BENCH_baseline.json
+
+bench-attrib:
+	$(GO) run ./cmd/mesabench -json attrib > ATTRIB.json

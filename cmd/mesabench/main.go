@@ -1,17 +1,30 @@
 // Command mesabench regenerates every table and figure of the paper's
-// evaluation section and prints them to stdout.
+// evaluation section and prints them to stdout, and maintains the
+// machine-readable performance baseline of the suite.
 //
 // Usage:
 //
 //	mesabench                 # run everything
-//	mesabench fig11           # run one experiment: fig2, fig8, fig11..fig16, table1, table2
+//	mesabench fig11           # one experiment: fig2, fig8, fig11..fig16, table1, table2, attrib
 //	mesabench -parallel 8     # fan the sweeps out over 8 workers
 //	mesabench -json fig12     # structured output
 //	mesabench -stats s.json   # also write a worker pool metrics report
 //
+//	mesabench -out BENCH.json                        # write a schema-versioned perf snapshot
+//	mesabench -check BENCH_baseline.json -tol 0.02   # exit non-zero on any metric regression
+//	mesabench -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// -out/-check run the benchmark snapshot collection (per-kernel CPU and
+// accelerator cycles, configuration latency, per-figure speedup and energy
+// aggregates) instead of the rendered experiments; pass experiment names as
+// well to also run those. -check compares every baseline metric
+// direction-aware (speedups regress downward, cycle counts upward) and
+// exits 1 with a per-metric diff table when any regresses beyond -tol.
+//
 // The -stats report contains only worker-count-invariant counters, so it is
 // byte-identical between -parallel 1 and -parallel N (like the experiment
-// output itself).
+// output itself, BENCH metrics included; the snapshot's wall_seconds field
+// is the one host-dependent value and is never compared).
 package main
 
 import (
@@ -21,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -47,6 +61,7 @@ var all = []experiment{
 	{"fig15", renderFigure15, dataFigure15},
 	{"fig16", renderFigure16, dataFigure16},
 	{"ablations", renderAblations, dataAblations},
+	{"attrib", renderAttrib, dataAttrib},
 }
 
 func usage() {
@@ -59,9 +74,25 @@ func usage() {
 	flag.PrintDefaults()
 }
 
+// config collects the parsed command line.
+type config struct {
+	asJSON    bool
+	statsFile string
+	outFile   string
+	checkFile string
+	tol       float64
+	parallel  int
+	chosen    []experiment
+}
+
 func main() {
 	asJSON := flag.Bool("json", false, "emit structured JSON instead of rendered tables")
 	statsFile := flag.String("stats", "", "write a unified metrics report as JSON to this file")
+	outFile := flag.String("out", "", "write a schema-versioned benchmark snapshot as JSON to this file")
+	checkFile := flag.String("check", "", "compare the run against this baseline snapshot and exit non-zero on regression")
+	tol := flag.Float64("tol", 0.02, "relative tolerance for -check (0.02 = 2%)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker count for the experiment sweeps; 1 runs everything serially")
 	flag.Usage = usage
@@ -90,72 +121,186 @@ func main() {
 		}
 	}
 
-	var chosen []experiment
-	for _, e := range all {
-		if len(selected) == 0 || selected[e.name] {
-			chosen = append(chosen, e)
+	cfg := config{
+		asJSON: *asJSON, statsFile: *statsFile,
+		outFile: *outFile, checkFile: *checkFile, tol: *tol,
+		parallel: *parallel,
+	}
+	// -out/-check run the snapshot collection; experiments run only when
+	// named explicitly alongside them.
+	benchOnly := (cfg.outFile != "" || cfg.checkFile != "") && len(selected) == 0
+	if !benchOnly {
+		for _, e := range all {
+			if len(selected) == 0 || selected[e.name] {
+				cfg.chosen = append(cfg.chosen, e)
+			}
 		}
 	}
 
-	if *asJSON {
+	// os.Exit skips defers, and the CPU profile must be flushed on every
+	// path, so the exit code is decided inside realMain.
+	os.Exit(realMain(cfg, *cpuProfile, *memProfile))
+}
+
+func realMain(cfg config, cpuProfile, memProfile string) int {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mesabench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "mesabench:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mesabench:", err)
+			}
+		}()
+	}
+
+	code := 0
+	if err := runExperiments(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "mesabench:", err)
+		code = 1
+	}
+	if code == 0 && (cfg.outFile != "" || cfg.checkFile != "") {
+		regressed, err := runBench(cfg)
+		switch {
+		case err != nil:
+			fmt.Fprintln(os.Stderr, "mesabench:", err)
+			code = 1
+		case regressed:
+			code = 1
+		}
+	}
+	if memProfile != "" {
+		f, err := os.Create(memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mesabench:", err)
+			return 1
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "mesabench:", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mesabench:", err)
+			return 1
+		}
+	}
+	return code
+}
+
+// runExperiments renders (or JSON-encodes) the chosen experiments and the
+// optional -stats report.
+func runExperiments(cfg config) error {
+	if len(cfg.chosen) == 0 {
+		return nil
+	}
+	if cfg.asJSON {
 		// Experiments are independent; fan them out and assemble the object
 		// afterwards so the output does not depend on completion order.
-		values, err := experiments.Run(context.Background(), *parallel, len(chosen),
+		values, err := experiments.Run(context.Background(), cfg.parallel, len(cfg.chosen),
 			func(_ context.Context, i int) (any, error) {
-				v, err := chosen[i].data()
+				v, err := cfg.chosen[i].data()
 				if err != nil {
-					return nil, fmt.Errorf("%s: %w", chosen[i].name, err)
+					return nil, fmt.Errorf("%s: %w", cfg.chosen[i].name, err)
 				}
 				return v, nil
 			})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mesabench: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		results := map[string]any{}
-		for i, e := range chosen {
+		for i, e := range cfg.chosen {
 			results[e.name] = values[i]
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(results); err != nil {
-			fmt.Fprintln(os.Stderr, "mesabench:", err)
-			os.Exit(1)
+			return err
 		}
-		writeStats(*statsFile, chosen)
-		return
+		return writeStats(cfg.statsFile, cfg.chosen)
 	}
 
 	type rendered struct {
 		out     string
 		seconds float64
 	}
-	outputs, err := experiments.Run(context.Background(), *parallel, len(chosen),
+	outputs, err := experiments.Run(context.Background(), cfg.parallel, len(cfg.chosen),
 		func(_ context.Context, i int) (rendered, error) {
 			start := time.Now()
-			out, err := chosen[i].run()
+			out, err := cfg.chosen[i].run()
 			if err != nil {
-				return rendered{}, fmt.Errorf("%s: %w", chosen[i].name, err)
+				return rendered{}, fmt.Errorf("%s: %w", cfg.chosen[i].name, err)
 			}
 			return rendered{out: out, seconds: time.Since(start).Seconds()}, nil
 		})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mesabench: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	for i, e := range chosen {
+	for i, e := range cfg.chosen {
 		fmt.Printf("==== %s (%.2fs) ====\n%s\n", e.name, outputs[i].seconds, outputs[i].out)
 	}
-	writeStats(*statsFile, chosen)
+	return writeStats(cfg.statsFile, cfg.chosen)
+}
+
+// runBench collects the benchmark snapshot, writes it to -out, and compares
+// it against the -check baseline. It reports whether any metric regressed;
+// file and collection failures are errors (the user asked for the file, so
+// a failure to produce it must not exit zero).
+func runBench(cfg config) (regressed bool, err error) {
+	start := time.Now()
+	snap, err := experiments.CollectBench()
+	if err != nil {
+		return false, err
+	}
+	snap.WallSeconds = time.Since(start).Seconds()
+
+	if cfg.outFile != "" {
+		f, err := os.Create(cfg.outFile)
+		if err != nil {
+			return false, err
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			f.Close()
+			return false, err
+		}
+		if err := f.Close(); err != nil {
+			return false, err
+		}
+		fmt.Fprintf(os.Stderr, "bench: snapshot (%d metrics, schema v%d) written to %s\n",
+			len(snap.Metrics), snap.SchemaVersion, cfg.outFile)
+	}
+	if cfg.checkFile != "" {
+		baseline, err := experiments.ReadBench(cfg.checkFile)
+		if err != nil {
+			return false, err
+		}
+		diffs, bad := experiments.CompareBench(baseline, snap, cfg.tol)
+		fmt.Print(experiments.RenderBenchDiff(diffs, cfg.tol))
+		if bad {
+			fmt.Fprintf(os.Stderr, "mesabench: benchmark regression vs %s (see diff table above)\n", cfg.checkFile)
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 // writeStats emits the unified metrics report for a bench run. Wall-clock
 // durations are deliberately excluded: every value here is deterministic and
 // worker-count-invariant, so the file byte-compares across -parallel
-// settings. Errors are fatal — the user asked for the file.
-func writeStats(path string, chosen []experiment) {
+// settings. A write failure is returned (and exits non-zero) — the user
+// asked for the file.
+func writeStats(path string, chosen []experiment) error {
 	if path == "" {
-		return
+		return nil
 	}
 	reg := obs.NewRegistry()
 	reg.Add("bench",
@@ -164,17 +309,15 @@ func writeStats(path string, chosen []experiment) {
 	reg.Add("experiments.pool", experiments.PoolMetrics()...)
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mesabench:", err)
-		os.Exit(1)
+		return err
 	}
 	if err := reg.WriteJSON(f); err != nil {
 		f.Close()
-		fmt.Fprintln(os.Stderr, "mesabench:", err)
-		os.Exit(1)
+		return err
 	}
 	if err := f.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "mesabench:", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "stats: metrics report written to %s\n", path)
+	return nil
 }

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mesa/internal/experiments"
+)
+
+// captureStdout runs f with os.Stdout redirected and returns what it printed.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestCheckExitCodes is the end-to-end gate contract: -check exits zero
+// against a faithful baseline and non-zero against a baseline into which a
+// synthetic 5% regression was injected, naming the offending metric in the
+// diff table.
+func TestCheckExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite collection in -short mode")
+	}
+	snap, err := experiments.CollectBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	writeSnap := func(name string, s *experiments.BenchSnapshot) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	clean := writeSnap("clean.json", snap)
+	if code := realMain(config{checkFile: clean, tol: 0.02}, "", ""); code != 0 {
+		t.Errorf("clean baseline: exit %d, want 0", code)
+	}
+
+	// Inject the regression into the baseline: demand 5% fewer cycles than
+	// the suite actually takes, so the current run reads 5.3% worse.
+	bad := *snap
+	bad.Metrics = append([]experiments.BenchMetric(nil), snap.Metrics...)
+	victim := ""
+	for i, m := range bad.Metrics {
+		if !m.HigherIsBetter && m.Value > 0 {
+			bad.Metrics[i].Value = m.Value * 0.95
+			victim = m.Name
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no lower-is-better metric to perturb")
+	}
+	badPath := writeSnap("regressed.json", &bad)
+	var code int
+	out := captureStdout(t, func() {
+		code = realMain(config{checkFile: badPath, tol: 0.02}, "", "")
+	})
+	if code == 0 {
+		t.Error("injected 5% regression: exit 0, want non-zero")
+	}
+	if !strings.Contains(out, victim) || !strings.Contains(out, "REGRESSED") {
+		t.Errorf("diff output does not name %s as REGRESSED:\n%s", victim, out)
+	}
+}
+
+// TestOutUnwritablePathExits: asking for an output file that cannot be
+// created must not exit zero.
+func TestOutUnwritablePathExits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite collection in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "no-such-dir", "BENCH.json")
+	if code := realMain(config{outFile: path, tol: 0.02}, "", ""); code == 0 {
+		t.Error("unwritable -out path: exit 0, want non-zero")
+	}
+}

@@ -86,6 +86,14 @@ func renderAblations() (string, error) {
 	return experiments.RenderAblations()
 }
 
+func renderAttrib() (string, error) {
+	r, err := experiments.Attrib()
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
 // Structured (-json) variants.
 
 func dataTable1() (any, error)   { return experiments.Table1(), nil }
@@ -99,6 +107,7 @@ func dataFigure13() (any, error) { return experiments.Figure13() }
 func dataFigure14() (any, error) { return experiments.Figure14() }
 func dataFigure15() (any, error) { return experiments.Figure15() }
 func dataFigure16() (any, error) { return experiments.Figure16() }
+func dataAttrib() (any, error)   { return experiments.Attrib() }
 
 func dataAblations() (any, error) {
 	win, err := experiments.WindowAblation()

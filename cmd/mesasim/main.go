@@ -5,19 +5,28 @@
 // Usage:
 //
 //	mesasim [-backend M-64|M-128|M-512] [-cores N] [-no-tiling] [-no-pipeline] <kernel>
+//	mesasim -explain <kernel>
 //	mesasim -trace trace.json -stats stats.json <kernel>
+//	mesasim -cpuprofile cpu.pprof -memprofile mem.pprof <kernel>
 //	mesasim -list
 //
-// -trace writes the MESA run as Chrome trace-event JSON (open in
-// https://ui.perfetto.dev): CPU retirements, controller FSM phases, and
-// per-node accelerator activity on one timeline. -stats writes every
-// counter surface of the run as one JSON report.
+// -explain prints the bottleneck attribution report for every accelerated
+// region: all four candidate initiation-interval bounds (dependence /
+// memports / noc / timeshare), the recurrence nodes behind the dependence
+// bound, a per-PE firing-utilization heatmap, NoC row occupancy, and memory
+// port contention shares. -trace writes the MESA run as Chrome trace-event
+// JSON (open in https://ui.perfetto.dev): CPU retirements, controller FSM
+// phases, and per-node accelerator activity on one timeline. -stats writes
+// every counter surface of the run as one JSON report. -cpuprofile and
+// -memprofile write Go pprof profiles of the simulator itself.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"mesa/internal/accel"
 	"mesa/internal/core"
@@ -29,14 +38,30 @@ import (
 	"mesa/internal/sim"
 )
 
+// options collects the run configuration from the command line.
+type options struct {
+	backend    string
+	cores      int
+	noTiling   bool
+	noPipeline bool
+	timeShare  int
+	explain    bool
+	traceFile  string
+	statsFile  string
+}
+
 func main() {
-	backend := flag.String("backend", "M-128", "accelerator configuration: M-64, M-128, M-512")
-	cores := flag.Int("cores", 16, "CPU baseline core count")
-	noTiling := flag.Bool("no-tiling", false, "disable spatial tiling")
-	noPipeline := flag.Bool("no-pipeline", false, "disable iteration pipelining")
-	timeShare := flag.Int("timeshare", 1, "time-multiplexing extension: max instructions per PE")
-	traceFile := flag.String("trace", "", "write the MESA run as Chrome trace-event JSON to this file")
-	statsFile := flag.String("stats", "", "write the unified metrics report as JSON to this file")
+	var o options
+	flag.StringVar(&o.backend, "backend", "M-128", "accelerator configuration: M-64, M-128, M-512")
+	flag.IntVar(&o.cores, "cores", 16, "CPU baseline core count")
+	flag.BoolVar(&o.noTiling, "no-tiling", false, "disable spatial tiling")
+	flag.BoolVar(&o.noPipeline, "no-pipeline", false, "disable iteration pipelining")
+	flag.IntVar(&o.timeShare, "timeshare", 1, "time-multiplexing extension: max instructions per PE")
+	flag.BoolVar(&o.explain, "explain", false, "print the bottleneck attribution report per accelerated region")
+	flag.StringVar(&o.traceFile, "trace", "", "write the MESA run as Chrome trace-event JSON to this file")
+	flag.StringVar(&o.statsFile, "stats", "", "write the unified metrics report as JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile of the simulator to this file")
 	list := flag.Bool("list", false, "list available kernels")
 	flag.Parse()
 
@@ -54,19 +79,65 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: mesasim [flags] <kernel>   (or -list)")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *backend, *cores, *noTiling, *noPipeline, *timeShare, *traceFile, *statsFile); err != nil {
-		fmt.Fprintln(os.Stderr, "mesasim:", err)
-		os.Exit(1)
-	}
+	// Profile teardown must run even on failure, and os.Exit skips defers,
+	// so the exit code is decided inside realMain.
+	os.Exit(realMain(flag.Arg(0), o, *cpuProfile, *memProfile))
 }
 
-func run(name, backendName string, cores int, noTiling, noPipeline bool, timeShare int, traceFile, statsFile string) error {
+func realMain(kernel string, o options, cpuProfile, memProfile string) int {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mesasim:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "mesasim:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mesasim:", err)
+			}
+		}()
+	}
+	if err := run(kernel, o); err != nil {
+		fmt.Fprintln(os.Stderr, "mesasim:", err)
+		return 1
+	}
+	if memProfile != "" {
+		if err := writeHeapProfile(memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, "mesasim:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// writeHeapProfile snapshots the heap after a GC so the profile reflects
+// live allocations rather than garbage.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(name string, o options) error {
 	k, err := kernels.ByName(name)
 	if err != nil {
 		return err
 	}
 	var be *accel.Config
-	switch backendName {
+	switch o.backend {
 	case "M-64":
 		be = accel.M64()
 	case "M-128":
@@ -74,7 +145,7 @@ func run(name, backendName string, cores int, noTiling, noPipeline bool, timeSha
 	case "M-512":
 		be = accel.M512()
 	default:
-		return fmt.Errorf("unknown backend %q", backendName)
+		return fmt.Errorf("unknown backend %q", o.backend)
 	}
 
 	prog, loopStart, err := k.Program()
@@ -97,18 +168,18 @@ func run(name, backendName string, cores int, noTiling, noPipeline bool, timeSha
 
 	// Observability: nil handles when the flags are unset (no overhead).
 	var rec *obs.Recorder
-	if traceFile != "" {
+	if o.traceFile != "" {
 		rec = obs.NewRecorder()
 		rec.NameProcess(obs.PIDCPUTiming, "cpu timing baseline")
 	}
 	var reg *obs.Registry
-	if statsFile != "" {
+	if o.statsFile != "" {
 		reg = obs.NewRegistry()
 	}
 
 	// 2. CPU timing baseline.
 	mc := cpu.DefaultMulticore()
-	mc.Cores = cores
+	mc.Cores = o.cores
 	baseHier := mem.MustHierarchy(mem.DefaultHierarchy())
 	single, err := cpu.TimeTraced(mc.Core, prog, k.NewMemory(experimentsSeed), baseHier, maxSteps, rec)
 	if err != nil {
@@ -120,7 +191,7 @@ func run(name, backendName string, cores int, noTiling, noPipeline bool, timeSha
 	}
 	fmt.Printf("CPU 1-core: %.0f cycles (IPC %.2f, AMAT %.1f)\n", single.Cycles, single.IPC, single.AMAT)
 	baseline := single.Cycles
-	if k.Parallel && cores > 1 {
+	if k.Parallel && o.cores > 1 {
 		par, err := cpu.TimeParallel(mc, func(chunk, n int) (*cpu.Result, error) {
 			p, _, err := k.ChunkProgram(chunk, n)
 			if err != nil {
@@ -131,17 +202,17 @@ func run(name, backendName string, cores int, noTiling, noPipeline bool, timeSha
 		if err != nil {
 			return err
 		}
-		fmt.Printf("CPU %d-core: %.0f cycles\n", cores, par.Cycles)
+		fmt.Printf("CPU %d-core: %.0f cycles\n", o.cores, par.Cycles)
 		baseline = par.Cycles
 	}
 
 	// 3. MESA transparent offload.
 	opts := core.DefaultOptions(be)
-	opts.EnableTiling = !noTiling
-	opts.EnablePipelining = !noPipeline
+	opts.EnableTiling = !o.noTiling
+	opts.EnablePipelining = !o.noPipeline
 	opts.Recorder = rec
-	if timeShare > 1 {
-		opts.Mapper.TimeShare = timeShare
+	if o.timeShare > 1 {
+		opts.Mapper.TimeShare = o.timeShare
 		opts.Detector.MaxInsts = 0 // rederive capacity with the extension
 	}
 	if k.Parallel {
@@ -162,7 +233,7 @@ func run(name, backendName string, cores int, noTiling, noPipeline bool, timeSha
 	}
 
 	if rec.Enabled() {
-		f, err := os.Create(traceFile)
+		f, err := os.Create(o.traceFile)
 		if err != nil {
 			return err
 		}
@@ -173,7 +244,7 @@ func run(name, backendName string, cores int, noTiling, noPipeline bool, timeSha
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("trace: %d events written to %s (load in https://ui.perfetto.dev)\n", rec.Len(), traceFile)
+		fmt.Printf("trace: %d events written to %s (load in https://ui.perfetto.dev)\n", rec.Len(), o.traceFile)
 	}
 	if reg.Enabled() {
 		reg.Add("kernel",
@@ -183,7 +254,7 @@ func run(name, backendName string, cores int, noTiling, noPipeline bool, timeSha
 		reg.Add("cpu.core", accelMachine.Stats.Metrics()...)
 		reg.Add("mem", hier.Metrics()...)
 		report.AddMetrics(reg)
-		f, err := os.Create(statsFile)
+		f, err := os.Create(o.statsFile)
 		if err != nil {
 			return err
 		}
@@ -194,7 +265,7 @@ func run(name, backendName string, cores int, noTiling, noPipeline bool, timeSha
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("stats: metrics report written to %s\n", statsFile)
+		fmt.Printf("stats: metrics report written to %s\n", o.statsFile)
 	}
 
 	if len(report.Regions) == 0 {
@@ -214,11 +285,19 @@ func run(name, backendName string, cores int, noTiling, noPipeline bool, timeSha
 		rr.Iterations, rr.FinalAvgIter, rr.FinalII, rr.Bound)
 	fmt.Printf("  total %.0f cycles (accel %.0f + overhead %.0f + CPU profiling %.0f)\n",
 		total, rr.AccelCycles, rr.OverheadCycles, prof)
-	fmt.Printf("  speedup vs %d-core CPU: %.2fx\n", cores, baseline/total)
+	fmt.Printf("  speedup vs %d-core CPU: %.2fx\n", o.cores, baseline/total)
 	b := energy.AccelEnergy(be, rr.Activity)
 	fmt.Printf("  accelerator energy: %.0f nJ (compute %.0f, memory %.0f, NoC %.0f, control %.0f, leakage %.0f)\n",
 		b.TotalNJ(), b.ComputeNJ, b.MemoryNJ, b.NoCNJ, b.ControlNJ, b.LeakageNJ)
 	fmt.Println("  memory state identical to functional reference ✓")
+	if o.explain {
+		for i, region := range report.Regions {
+			if region.Attrib == nil {
+				continue
+			}
+			fmt.Printf("\nregion %d @%#x:\n%s", i, region.Region.Start, region.Attrib.Render())
+		}
+	}
 	return nil
 }
 

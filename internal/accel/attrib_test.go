@@ -1,0 +1,204 @@
+package accel
+
+import (
+	"bytes"
+	"testing"
+
+	"mesa/internal/dfg"
+	"mesa/internal/isa"
+	"mesa/internal/mem"
+	"mesa/internal/noc"
+)
+
+// loadAdd builds a two-node graph — an edge load feeding a grid accumulator
+// (X7 += loaded word) — that exercises a memory port, a row-lane NoC
+// transfer, and a cross-iteration recurrence through X7.
+func loadAdd(t *testing.T) (*Engine, *[isa.NumRegs]uint32) {
+	t.Helper()
+	g := dfg.NewGraph()
+	ld := newNode(isa.Inst{Op: isa.OpLW, Rd: isa.X5, Rs1: isa.X6, Rs2: isa.RegNone, Rs3: isa.RegNone}, 3)
+	ld.LiveIn[0] = isa.X6
+	ldID := g.Add(ld)
+	add := newNode(isa.Inst{Op: isa.OpADD, Rd: isa.X7, Rs1: isa.X5, Rs2: isa.X7, Rs3: isa.RegNone}, 1)
+	add.Src[0] = ldID
+	add.LiveIn[1] = isa.X7
+	addID := g.Add(add)
+	g.LiveOut[isa.X7] = addID
+
+	memory := mem.NewMemory()
+	memory.StoreWord(0x1000, 41)
+	pos := []noc.Coord{{Row: 0, Col: -1}, {Row: 0, Col: 0}}
+	e, err := NewEngine(M128(), g, pos, dfg.None, memory, mem.MustHierarchy(mem.DefaultHierarchy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regs [isa.NumRegs]uint32
+	regs[isa.X6] = 0x1000
+	return e, &regs
+}
+
+var boundNames = []string{"dependence", "memports", "noc", "timeshare"}
+
+// checkBounds asserts the report carries all four candidate IIs in the fixed
+// order, with the Limiting flag set exactly on the chosen bound.
+func checkBounds(t *testing.T, a *Attribution) {
+	t.Helper()
+	if len(a.Bounds) != len(boundNames) {
+		t.Fatalf("len(Bounds) = %d, want %d", len(a.Bounds), len(boundNames))
+	}
+	for i, c := range a.Bounds {
+		if c.Name != boundNames[i] {
+			t.Errorf("Bounds[%d].Name = %q, want %q", i, c.Name, boundNames[i])
+		}
+		if c.Limiting != (c.Name == a.Chosen) {
+			t.Errorf("Bounds[%d] (%s): Limiting = %v with Chosen = %q", i, c.Name, c.Limiting, a.Chosen)
+		}
+	}
+}
+
+// TestExplainDegenerateNoIterations pins the documented degenerate path: with
+// no completed iterations the report (and InitiationInterval, its projection)
+// must fall back to II 1 with bound "dependence", all four candidates present.
+func TestExplainDegenerateNoIterations(t *testing.T) {
+	e, _ := loadAdd(t)
+	a := e.Explain(LoopOptions{Pipelined: true})
+	if a.Iterations != 0 {
+		t.Fatalf("Iterations = %d before any run, want 0", a.Iterations)
+	}
+	if a.II != 1 || a.Chosen != "dependence" {
+		t.Errorf("degenerate report = (%v, %q), want (1, dependence)", a.II, a.Chosen)
+	}
+	checkBounds(t, a)
+	if len(a.PEs) != 0 || len(a.Recurrence) != 0 {
+		t.Errorf("degenerate report carries heatmaps: %d PEs, %d recurrence nodes",
+			len(a.PEs), len(a.Recurrence))
+	}
+	ii, bound := e.InitiationInterval(LoopOptions{Pipelined: true})
+	if ii != a.II || bound != a.Chosen {
+		t.Errorf("InitiationInterval = (%v, %q), Explain = (%v, %q): projections diverged",
+			ii, bound, a.II, a.Chosen)
+	}
+}
+
+// TestExplainDegenerateTiledFloor: the 1/tiles floor and pipelined mode must
+// be reported even on the degenerate path.
+func TestExplainDegenerateTiledFloor(t *testing.T) {
+	e, _ := loadAdd(t)
+	a := e.Explain(LoopOptions{Tiles: 4})
+	if a.Mode != "pipelined" {
+		t.Errorf("Mode = %q with Tiles=4, want pipelined", a.Mode)
+	}
+	if a.FloorII != 0.25 {
+		t.Errorf("FloorII = %v with Tiles=4, want 0.25", a.FloorII)
+	}
+}
+
+// TestExplainMatchesInitiationInterval: after a real run the summary must be
+// the exact (II, Chosen) projection of the full report, and the chosen bound
+// must be one of the four candidates.
+func TestExplainMatchesInitiationInterval(t *testing.T) {
+	e, regs := loadAdd(t)
+	opts := LoopOptions{Pipelined: true}
+	if _, err := e.RunLoop(regs, opts); err != nil {
+		t.Fatal(err)
+	}
+	a := e.Explain(opts)
+	if a.Iterations == 0 {
+		t.Fatal("no iterations recorded")
+	}
+	ii, bound := e.InitiationInterval(opts)
+	if ii != a.II || bound != a.Chosen {
+		t.Errorf("InitiationInterval = (%v, %q), Explain = (%v, %q): projections diverged",
+			ii, bound, a.II, a.Chosen)
+	}
+	checkBounds(t, a)
+	if len(a.Recurrence) == 0 {
+		t.Error("live-out X7 is consumed as a live-in source: want at least one recurrence node")
+	}
+	for i := 1; i < len(a.Recurrence); i++ {
+		p, q := a.Recurrence[i-1], a.Recurrence[i]
+		if p.Lat < q.Lat || (p.Lat == q.Lat && p.Node > q.Node) {
+			t.Errorf("Recurrence not sorted by (Lat desc, Node asc) at %d: %+v before %+v", i, p, q)
+		}
+	}
+}
+
+// TestExplainCounterSplits: the per-row and per-port splits must tile their
+// aggregate counters exactly — nothing double-counted, nothing dropped — and
+// the report's heatmaps must reproduce them.
+func TestExplainCounterSplits(t *testing.T) {
+	e, regs := loadAdd(t)
+	if _, err := e.RunLoop(regs, LoopOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	c := e.Counters()
+
+	var rowSum uint64
+	for _, n := range c.RowTransfers {
+		rowSum += n
+	}
+	if rowSum != c.NoCTransfers {
+		t.Errorf("sum(RowTransfers) = %d, NoCTransfers = %d", rowSum, c.NoCTransfers)
+	}
+	var waitSum float64
+	var grantSum uint64
+	for p := range c.PortGrants {
+		grantSum += c.PortGrants[p]
+		waitSum += c.PortWait[p]
+	}
+	if grantSum == 0 {
+		t.Error("the load must be granted a memory port: sum(PortGrants) = 0")
+	}
+	if waitSum != c.PortWaitCycles {
+		t.Errorf("sum(PortWait) = %v, PortWaitCycles = %v", waitSum, c.PortWaitCycles)
+	}
+	if c.ActiveCycles <= 0 {
+		t.Errorf("ActiveCycles = %v after a completed iteration", c.ActiveCycles)
+	}
+
+	a := e.Explain(LoopOptions{})
+	if a.ActiveCycles != c.ActiveCycles {
+		t.Errorf("report ActiveCycles = %v, counters = %v", a.ActiveCycles, c.ActiveCycles)
+	}
+	var reportXfers uint64
+	for _, r := range a.NoCRows {
+		reportXfers += r.Transfers
+	}
+	if reportXfers != c.NoCTransfers {
+		t.Errorf("sum of NoCRows transfers = %d, NoCTransfers = %d", reportXfers, c.NoCTransfers)
+	}
+	var reportGrants uint64
+	for _, p := range a.Ports {
+		reportGrants += p.Grants
+	}
+	if reportGrants != grantSum {
+		t.Errorf("sum of Ports grants = %d, counters = %d", reportGrants, grantSum)
+	}
+	if len(a.PEs) == 0 {
+		t.Error("both nodes occupy spatial units: want a non-empty PE heatmap")
+	}
+}
+
+// TestAttributionJSONByteStable: serializing the same report twice must be
+// byte-identical, and rendering must not mutate the report.
+func TestAttributionJSONByteStable(t *testing.T) {
+	e, regs := loadAdd(t)
+	if _, err := e.RunLoop(regs, LoopOptions{Pipelined: true}); err != nil {
+		t.Fatal(err)
+	}
+	a := e.Explain(LoopOptions{Pipelined: true})
+	var first, second bytes.Buffer
+	if err := a.WriteJSON(&first); err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Render()
+	if err := a.WriteJSON(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("WriteJSON is not byte-stable across Render")
+	}
+	if first.Len() == 0 || first.Bytes()[first.Len()-1] != '\n' {
+		t.Error("WriteJSON output must end with a newline")
+	}
+}

@@ -99,6 +99,14 @@ type Counters struct {
 	NoCWaitCycles  float64
 	LocalTransfers uint64
 	BusTransfers   uint64 // transfers over the secondary fallback bus
+
+	// Attribution sources (Explain): ActiveCycles is the sum of measured
+	// iteration latencies; RowTransfers splits NoCTransfers by grid row;
+	// PortGrants/PortWait split port arbitration by physical port.
+	ActiveCycles float64
+	RowTransfers []uint64
+	PortGrants   []uint64
+	PortWait     []float64
 }
 
 func edgeKey(from, to dfg.NodeID) uint64 {
@@ -152,10 +160,13 @@ func NewEngine(cfg *Config, g *dfg.Graph, pos []noc.Coord, loopBranch dfg.NodeID
 		pfStride:   make([]int64, n),
 		pfSeen:     make([]uint8, n),
 		counters: Counters{
-			OpLatSum:   make([]float64, n),
-			OpLatN:     make([]uint64, n),
-			EdgeLatSum: make(map[uint64]float64),
-			EdgeLatN:   make(map[uint64]uint64),
+			OpLatSum:     make([]float64, n),
+			OpLatN:       make([]uint64, n),
+			EdgeLatSum:   make(map[uint64]float64),
+			EdgeLatN:     make(map[uint64]uint64),
+			RowTransfers: make([]uint64, cfg.Rows),
+			PortGrants:   make([]uint64, cfg.MemPorts),
+			PortWait:     make([]float64, cfg.MemPorts),
 		},
 	}
 	e.laneFree = make([][]float64, cfg.Rows)
@@ -275,6 +286,7 @@ func (e *Engine) transfer(from, to dfg.NodeID, ready float64) float64 {
 			e.laneFree[row][lane] = start + 1
 			lat = (start - ready) + base
 			e.counters.NoCTransfers++
+			e.counters.RowTransfers[row]++
 			e.activity.NoC += base
 			if e.rec.Enabled() && start > ready {
 				e.rec.Complete(obs.PIDAccel, nodeTID(from), "noc", "lane wait", e.traceClock+ready, start-ready)
@@ -310,6 +322,8 @@ func (e *Engine) port(ready float64, addr uint32) float64 {
 	}
 	start := math.Max(ready, e.portFree[best])
 	e.counters.PortWaitCycles += start - ready
+	e.counters.PortGrants[best]++
+	e.counters.PortWait[best] += start - ready
 	e.portFree[best] = start + 1 // ports accept one access per cycle
 	if e.cfg.EnableVectorization {
 		e.lineGrant[addr>>lineShift] = start
@@ -621,6 +635,7 @@ func (e *Engine) RunIteration(regs *[isa.NumRegs]uint32) (IterationResult, error
 	}
 
 	e.counters.Iterations++
+	e.counters.ActiveCycles += total
 	if e.rec.Enabled() {
 		e.rec.Complete(obs.PIDAccel, iterTID, "accel", "iteration", e.traceClock, total)
 		e.traceClock += total
@@ -692,10 +707,13 @@ func (e *Engine) Activity() Activity { return e.activity }
 func (e *Engine) ResetCounters() {
 	n := e.g.Len()
 	e.counters = Counters{
-		OpLatSum:   make([]float64, n),
-		OpLatN:     make([]uint64, n),
-		EdgeLatSum: make(map[uint64]float64),
-		EdgeLatN:   make(map[uint64]uint64),
+		OpLatSum:     make([]float64, n),
+		OpLatN:       make([]uint64, n),
+		EdgeLatSum:   make(map[uint64]float64),
+		EdgeLatN:     make(map[uint64]uint64),
+		RowTransfers: make([]uint64, e.cfg.Rows),
+		PortGrants:   make([]uint64, e.cfg.MemPorts),
+		PortWait:     make([]float64, e.cfg.MemPorts),
 	}
 }
 

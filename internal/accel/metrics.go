@@ -21,6 +21,28 @@ func (c *Counters) AddScalars(o *Counters) {
 	c.NoCWaitCycles += o.NoCWaitCycles
 	c.LocalTransfers += o.LocalTransfers
 	c.BusTransfers += o.BusTransfers
+	c.ActiveCycles += o.ActiveCycles
+	for i, v := range o.RowTransfers {
+		if i >= len(c.RowTransfers) {
+			c.RowTransfers = append(c.RowTransfers, v)
+			continue
+		}
+		c.RowTransfers[i] += v
+	}
+	for i, v := range o.PortGrants {
+		if i >= len(c.PortGrants) {
+			c.PortGrants = append(c.PortGrants, v)
+			continue
+		}
+		c.PortGrants[i] += v
+	}
+	for i, v := range o.PortWait {
+		if i >= len(c.PortWait) {
+			c.PortWait = append(c.PortWait, v)
+			continue
+		}
+		c.PortWait[i] += v
+	}
 }
 
 // Metrics snapshots the scalar performance counters for the stats report.
@@ -38,6 +60,7 @@ func (c *Counters) Metrics() []obs.Metric {
 		obs.M("noc_wait_cycles", c.NoCWaitCycles),
 		obs.Count("local_transfers", c.LocalTransfers),
 		obs.Count("bus_transfers", c.BusTransfers),
+		obs.M("active_cycles", c.ActiveCycles),
 	}
 }
 

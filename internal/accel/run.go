@@ -43,11 +43,23 @@ type LoopResult struct {
 	// requested mode (equals AvgIterCycles when fully serialized).
 	II float64
 
-	// Bound names the throughput-limiting resource: "serial" when the loop
-	// ran fully serialized (no pipelining or tiling requested), otherwise
-	// "dependence", "memports", "noc", or — with the time-multiplexing
-	// extension — "timeshare".
+	// Bound names the throughput-limiting resource. The vocabulary is
+	// exhaustive: "serial" when the loop ran fully serialized (no pipelining
+	// or tiling requested, so no steady-state bound applies); otherwise one
+	// of the four candidates the initiation-interval model weighs against
+	// each other — "dependence" (cross-iteration recurrence), "memports"
+	// (shared memory ports), "noc" (row-lane bandwidth), or "timeshare"
+	// (serialized occupants of a time-multiplexed unit, only reachable with
+	// the time-multiplexing extension). A loop that never completed an
+	// iteration reports the degenerate default "dependence" (see
+	// InitiationInterval). Attrib carries the full decomposition.
 	Bound string
+
+	// Attrib is the bottleneck attribution report behind Bound: all four
+	// candidate IIs, the recurrence chain, and the resource heatmaps. It is
+	// always populated (serial runs report the bounds pipelining would have
+	// had) and derives purely from counters, never perturbing timing.
+	Attrib *Attribution
 
 	// Done reports that the loop's closing branch fell through (the loop
 	// finished) rather than execution stopping at MaxIterations.
@@ -84,12 +96,12 @@ func (e *Engine) RunLoop(regs *[isa.NumRegs]uint32, opts LoopOptions) (*LoopResu
 	res.TotalCycles = res.SerialCycles
 	res.Bound = "serial"
 
+	res.Attrib = e.Explain(opts)
 	if opts.Pipelined || opts.Tiles > 1 {
-		ii, bound := e.InitiationInterval(opts)
-		res.II = ii
-		res.Bound = bound
+		res.II = res.Attrib.II
+		res.Bound = res.Attrib.Chosen
 		if res.Iterations > 1 {
-			res.TotalCycles = res.AvgIterCycles + float64(res.Iterations-1)*ii
+			res.TotalCycles = res.AvgIterCycles + float64(res.Iterations-1)*res.II
 		} else {
 			res.TotalCycles = res.AvgIterCycles
 		}
@@ -100,64 +112,22 @@ func (e *Engine) RunLoop(regs *[isa.NumRegs]uint32, opts LoopOptions) (*LoopResu
 
 // InitiationInterval computes the steady-state cycles between successive
 // iteration completions under pipelining and tiling, limited by the
-// cross-iteration dependence recurrence, the shared memory ports, and NoC
-// bandwidth. It uses this engine's measured per-iteration counters.
+// cross-iteration dependence recurrence, the shared memory ports, NoC
+// bandwidth, and (with the time-multiplexing extension) the most-loaded
+// time-shared unit. It uses this engine's measured per-iteration counters.
+//
+// The returned bound is one of "dependence", "memports", "noc", or
+// "timeshare" — the same vocabulary LoopResult.Bound documents (RunLoop adds
+// "serial" for non-pipelined executions, which never reach this model).
+// When no iteration has completed there are no counters to attribute, and
+// the model explicitly falls back to the degenerate default: II 1 with
+// bound "dependence" (the recurrence floor of one cycle per iteration).
+//
+// The result is defined as the (II, Chosen) projection of the full
+// Explain attribution report, so the summary and the report cannot diverge.
 func (e *Engine) InitiationInterval(opts LoopOptions) (float64, string) {
-	iters := float64(e.counters.Iterations)
-	if iters == 0 {
-		return 1, "dependence"
-	}
-	tiles := float64(opts.Tiles)
-	if tiles < 1 {
-		tiles = 1
-	}
-
-	// Dependence-recurrence MII: a live-out register consumed as a live-in
-	// of the next iteration closes a cycle through that node. Each tile
-	// runs its own recurrence, so tiling divides the aggregate interval.
-	recMII := 1.0
-	for r, id := range e.g.LiveOut {
-		if !e.liveInUsed(r) {
-			continue
-		}
-		n := e.g.Node(id)
-		lat := e.cfg.EstimateLat(n.Inst)
-		if e.counters.OpLatN[id] > 0 {
-			lat = e.counters.OpLatSum[id] / float64(e.counters.OpLatN[id])
-		}
-		if lat+1 > recMII {
-			recMII = lat + 1 // +1: transfer back to the consumer's input
-		}
-	}
-	depII := recMII / tiles
-
-	// Resource MII: memory ports are shared by all tiles. Forwarded and
-	// coalesced accesses never consumed a port slot.
-	memPerIter := float64(e.counters.Loads+e.counters.Stores-e.counters.Forwarded-e.counters.Coalesced) / iters
-	memII := memPerIter / float64(e.cfg.MemPorts)
-
-	// NoC bandwidth: lanes per row, one transfer per lane per cycle.
-	// Fallback-bus transfers are counted separately (BusTransfers) and do
-	// not occupy lanes, so they are excluded here.
-	nocPerIter := float64(e.counters.NoCTransfers) / iters
-	lanes := float64(max(1, e.cfg.NoCLanesPerRow) * e.cfg.Rows)
-	nocII := nocPerIter / lanes
-
-	ii, bound := depII, "dependence"
-	if memII > ii {
-		ii, bound = memII, "memports"
-	}
-	if nocII > ii {
-		ii, bound = nocII, "noc"
-	}
-	// Time-shared units must complete all their occupants each iteration.
-	if e.timeShared && e.maxUnitWork > ii {
-		ii, bound = e.maxUnitWork, "timeshare"
-	}
-	if ii < 1.0/tiles {
-		ii = 1.0 / tiles // at most one iteration completes per tile per cycle
-	}
-	return ii, bound
+	a := e.Explain(opts)
+	return a.II, a.Chosen
 }
 
 // liveInUsed reports whether register r is read as a live-in anywhere in

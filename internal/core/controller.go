@@ -116,6 +116,12 @@ type RegionReport struct {
 	FinalII      float64
 	Bound        string
 
+	// Attrib is the bottleneck attribution behind Bound, from the last
+	// counter window on the final engine configuration: all four candidate
+	// IIs, recurrence contributors, per-PE utilization, NoC row occupancy,
+	// and port contention shares.
+	Attrib *accel.Attribution
+
 	Activity accel.Activity
 	Counters *accel.Counters
 }
@@ -473,6 +479,7 @@ func (c *Controller) offload(cr *configuredRegion, machine *sim.Machine, hier *m
 		rr.Iterations += res.Iterations
 		rr.AccelCycles += res.TotalCycles
 		rr.FinalAvgIter, rr.FinalII, rr.Bound = res.AvgIterCycles, res.II, res.Bound
+		rr.Attrib = res.Attrib
 		roundRep := RoundReport{
 			Iterations: res.Iterations, AvgIter: res.AvgIterCycles,
 			II: res.II, Bound: res.Bound,

@@ -99,6 +99,45 @@ func TestObservabilityDifferential(t *testing.T) {
 				if !reflect.DeepEqual(p.Counters, q.Counters) {
 					t.Errorf("region %d: counters differ under tracing", i)
 				}
+
+				// The attribution report is a pure function of the counters:
+				// it must exist, agree between plain and traced runs down to
+				// the serialized bytes, carry all four candidate bounds in
+				// canonical order with the region's Bound starred as
+				// limiting, and report per-PE utilization.
+				if p.Attrib == nil || q.Attrib == nil {
+					t.Fatalf("region %d: missing attribution report (plain %v, traced %v)",
+						i, p.Attrib != nil, q.Attrib != nil)
+				}
+				attribJSON := func(a *accel.Attribution) string {
+					var buf bytes.Buffer
+					if err := a.WriteJSON(&buf); err != nil {
+						t.Fatal(err)
+					}
+					return buf.String()
+				}
+				if pj, qj := attribJSON(p.Attrib), attribJSON(q.Attrib); pj != qj {
+					t.Errorf("region %d: attribution differs under tracing:\nplain:  %s\ntraced: %s", i, pj, qj)
+				}
+				wantBounds := []string{"dependence", "memports", "noc", "timeshare"}
+				if len(p.Attrib.Bounds) != len(wantBounds) {
+					t.Fatalf("region %d: %d candidate bounds, want %d", i, len(p.Attrib.Bounds), len(wantBounds))
+				}
+				for j, name := range wantBounds {
+					if p.Attrib.Bounds[j].Name != name {
+						t.Errorf("region %d: bound[%d] = %q, want %q", i, j, p.Attrib.Bounds[j].Name, name)
+					}
+					if p.Attrib.Bounds[j].Limiting != (name == p.Attrib.Chosen) {
+						t.Errorf("region %d: bound %q limiting flag inconsistent with chosen %q",
+							i, name, p.Attrib.Chosen)
+					}
+				}
+				if p.Bound != "serial" && p.Attrib.Chosen != p.Bound {
+					t.Errorf("region %d: attribution chose %q, region bound %q", i, p.Attrib.Chosen, p.Bound)
+				}
+				if len(p.Attrib.PEs) == 0 {
+					t.Errorf("region %d: attribution has no per-PE utilization", i)
+				}
 			}
 
 			// The metrics report is a pure function of the run: two

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mesa/internal/accel"
+	"mesa/internal/kernels"
+)
+
+// AttribRow is one kernel's bottleneck attribution on the M-128 backend.
+type AttribRow struct {
+	Kernel    string             `json:"kernel"`
+	Qualified bool               `json:"qualified"`
+	Attrib    *accel.Attribution `json:"attrib,omitempty"`
+}
+
+// AttribResult is the per-kernel bottleneck attribution sweep: the
+// measure → attribute half of the paper's feedback loop, surfaced for the
+// whole suite. Each row carries all four candidate initiation-interval
+// bounds, the recurrence contributors, and the resource heatmaps of the
+// final engine configuration.
+type AttribResult struct {
+	Rows []AttribRow `json:"rows"`
+}
+
+// Attrib runs every kernel under a MESA controller on M-128 and collects
+// the bottleneck attribution of its accelerated region. The per-kernel runs
+// are independent seeded simulations, so they fan out over the sweep worker
+// pool; rows are reduced in kernel order, making the result byte-identical
+// for any worker count.
+func Attrib() (*AttribResult, error) {
+	ks := kernels.All()
+	rows, err := runAll(len(ks), func(i int) (AttribRow, error) {
+		k := ks[i]
+		run, err := RunMESA(k, accel.M128(), 0, MESAOptions{})
+		if err != nil {
+			return AttribRow{}, err
+		}
+		row := AttribRow{Kernel: k.Name, Qualified: run.Qualified}
+		if run.Qualified {
+			row.Attrib = run.Region.Attrib
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &AttribResult{Rows: rows}, nil
+}
+
+// Render prints the suite-wide attribution: one summary line per kernel
+// followed by the full per-kernel report.
+func (r *AttribResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Bottleneck attribution (M-128): all four II bounds per kernel\n")
+	b.WriteString(fmt.Sprintf("%-14s %-10s %10s %10s %10s %10s %10s\n",
+		"kernel", "bound", "II", "dep", "memports", "noc", "timeshare"))
+	for _, row := range r.Rows {
+		if !row.Qualified {
+			b.WriteString(fmt.Sprintf("%-14s %-10s (not accelerated)\n", row.Kernel, "-"))
+			continue
+		}
+		a := row.Attrib
+		ii := func(name string) float64 {
+			for _, c := range a.Bounds {
+				if c.Name == name {
+					return c.II
+				}
+			}
+			return 0
+		}
+		b.WriteString(fmt.Sprintf("%-14s %-10s %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+			row.Kernel, a.Chosen, a.II,
+			ii("dependence"), ii("memports"), ii("noc"), ii("timeshare")))
+	}
+	b.WriteString("\nper-kernel detail:\n")
+	for _, row := range r.Rows {
+		if !row.Qualified {
+			continue
+		}
+		b.WriteString(fmt.Sprintf("--- %s ---\n%s", row.Kernel, row.Attrib.Render()))
+	}
+	return b.String()
+}
