@@ -3,6 +3,7 @@
 #   make ci          # everything a PR must pass: vet + test + test-race + bench-check
 #   make test        # tier-1: go build + go test
 #   make test-race   # the sweep fan-out must be race-clean
+#   make bench       # run the Go benchmarks once with -benchmem (allocation counts)
 #   make bench-json  # write the current performance snapshot to BENCH.json
 #   make bench-check # regression-gate the snapshot against BENCH_baseline.json
 #   make bench-attrib# write the suite-wide bottleneck attribution to ATTRIB.json
@@ -30,7 +31,7 @@ test-race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' .
 
 bench-json:
 	$(GO) run ./cmd/mesabench -out BENCH.json

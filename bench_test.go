@@ -231,6 +231,116 @@ func BenchmarkAccelIteration(b *testing.B) {
 	}
 }
 
+// kernelLoopEngine builds an accelerator engine for k's hot loop plus the
+// architectural register state at first loop entry (obtained by functionally
+// simulating up to the loop head, the same state the controller would offload
+// with). ok is false when the kernel's loop does not map directly onto M-128
+// at this pipeline stage.
+func kernelLoopEngine(b *testing.B, k *kernels.Kernel) (*accel.Engine, [isa.NumRegs]uint32, bool) {
+	b.Helper()
+	prog, loopStart := k.MustProgram()
+	var end uint32
+	for _, in := range prog.Insts {
+		if in.IsBackwardBranch() && in.BranchTarget() == loopStart {
+			end = in.Addr + 4
+		}
+	}
+	if end == 0 {
+		return nil, [isa.NumRegs]uint32{}, false
+	}
+	machine := sim.New(prog, k.NewMemory(experiments.Seed))
+	for steps := 0; machine.PC != loopStart; steps++ {
+		if machine.Halted || steps > 1_000_000 {
+			return nil, [isa.NumRegs]uint32{}, false
+		}
+		if err := machine.Step(); err != nil {
+			return nil, [isa.NumRegs]uint32{}, false
+		}
+	}
+	be := accel.M128()
+	l, err := core.BuildLDFG(prog.Slice(loopStart, end), be.EstimateLat)
+	if err != nil {
+		return nil, [isa.NumRegs]uint32{}, false
+	}
+	s, _, err := core.NewMapper(core.DefaultMapperOptions()).Map(l, be)
+	if err != nil {
+		return nil, [isa.NumRegs]uint32{}, false
+	}
+	hier := mem.MustHierarchy(mem.DefaultHierarchy())
+	engine, err := accel.NewEngine(be, l.Graph, s.Pos, l.LoopBranch, machine.Mem, hier)
+	if err != nil {
+		return nil, [isa.NumRegs]uint32{}, false
+	}
+	return engine, machine.Regs, true
+}
+
+// BenchmarkRunIteration measures the per-iteration simulation cost of every
+// kernel's hot loop on M-128. With -benchmem it doubles as the
+// allocation-free evidence: the untraced path must report 0 allocs/op (also
+// pinned by TestRunIterationZeroAllocs in internal/accel).
+func BenchmarkRunIteration(b *testing.B) {
+	for _, k := range kernels.All() {
+		b.Run(k.Name, func(b *testing.B) {
+			engine, entry, ok := kernelLoopEngine(b, k)
+			if !ok {
+				b.Skipf("%s: hot loop does not map directly on M-128", k.Name)
+			}
+			regs := entry
+			if _, err := engine.RunIteration(&regs); err != nil {
+				b.Skipf("%s: loop region not executable standalone: %v", k.Name, err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := engine.RunIteration(&regs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Continue {
+					// Loop completed: restart from the entry state (timing
+					// behaviour is identical, the data has simply advanced).
+					regs = entry
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFullSweep measures the end-to-end evaluation sweep — every figure,
+// Table 2, and the benchmark snapshot collection — from a cold
+// simulation-result cache each iteration (within one iteration the cache
+// deduplicates shared configurations exactly as mesabench does).
+func BenchmarkFullSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.ResetSimMemo()
+		if _, err := experiments.Figure11(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Figure12(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Figure13(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Figure14(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Figure15(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Figure16(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Table2(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.CollectBench(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFunctionalSim measures raw interpreter throughput.
 func BenchmarkFunctionalSim(b *testing.B) {
 	k, err := kernels.ByName("nn")

@@ -8,7 +8,8 @@
 //	mesabench fig11           # one experiment: fig2, fig8, fig11..fig16, table1, table2, attrib
 //	mesabench -parallel 8     # fan the sweeps out over 8 workers
 //	mesabench -json fig12     # structured output
-//	mesabench -stats s.json   # also write a worker pool metrics report
+//	mesabench -stats s.json   # also write a worker pool + sim-cache metrics report
+//	mesabench -nocache        # disable the simulation-result cache (every run cold)
 //
 //	mesabench -out BENCH.json                        # write a schema-versioned perf snapshot
 //	mesabench -check BENCH_baseline.json -tol 0.02   # exit non-zero on any metric regression
@@ -82,6 +83,7 @@ type config struct {
 	checkFile string
 	tol       float64
 	parallel  int
+	noCache   bool
 	chosen    []experiment
 }
 
@@ -95,6 +97,8 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker count for the experiment sweeps; 1 runs everything serially")
+	noCache := flag.Bool("nocache", false,
+		"disable the cross-experiment simulation-result cache (every simulation runs cold)")
 	flag.Usage = usage
 	flag.Parse() // exits 2 with usage on unrecognized flags
 
@@ -124,7 +128,7 @@ func main() {
 	cfg := config{
 		asJSON: *asJSON, statsFile: *statsFile,
 		outFile: *outFile, checkFile: *checkFile, tol: *tol,
-		parallel: *parallel,
+		parallel: *parallel, noCache: *noCache,
 	}
 	// -out/-check run the snapshot collection; experiments run only when
 	// named explicitly alongside them.
@@ -143,6 +147,10 @@ func main() {
 }
 
 func realMain(cfg config, cpuProfile, memProfile string) int {
+	if cfg.noCache {
+		experiments.SetSimMemoEnabled(false)
+		defer experiments.SetSimMemoEnabled(true)
+	}
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
 		if err != nil {
@@ -307,6 +315,7 @@ func writeStats(path string, chosen []experiment) error {
 		obs.M("experiments", float64(len(chosen))),
 	)
 	reg.Add("experiments.pool", experiments.PoolMetrics()...)
+	reg.Add("experiments.memo", experiments.SimMemoMetrics()...)
 	f, err := os.Create(path)
 	if err != nil {
 		return err

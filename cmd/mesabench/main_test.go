@@ -4,6 +4,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -88,6 +89,64 @@ func TestCheckExitCodes(t *testing.T) {
 	if !strings.Contains(out, victim) || !strings.Contains(out, "REGRESSED") {
 		t.Errorf("diff output does not name %s as REGRESSED:\n%s", victim, out)
 	}
+}
+
+// wallTimes matches the per-experiment wall-time headers — the only
+// host-dependent bytes in rendered output.
+var wallTimes = regexp.MustCompile(`\(\d+\.\d+s\)`)
+
+// TestNoCacheFlag pins the -nocache escape hatch: the rendered output must be
+// byte-identical with and without the simulation-result cache (modulo the
+// wall-time headers), and -nocache must actually bypass the cache (its run
+// records no hits or misses).
+func TestNoCacheFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment rendering in -short mode")
+	}
+	var exp experiment
+	for _, e := range all {
+		if e.name == "fig13" {
+			exp = e
+		}
+	}
+	base := config{parallel: 2, tol: 0.02, chosen: []experiment{exp}}
+
+	experiments.ResetSimMemo()
+	defer experiments.ResetSimMemo()
+	cachedCfg := base
+	var cachedCode int
+	cached := captureStdout(t, func() { cachedCode = realMain(cachedCfg, "", "") })
+	if cachedCode != 0 {
+		t.Fatalf("cached run: exit %d", cachedCode)
+	}
+	before := memoCounters()
+
+	noCacheCfg := base
+	noCacheCfg.noCache = true
+	var code int
+	uncached := captureStdout(t, func() { code = realMain(noCacheCfg, "", "") })
+	if code != 0 {
+		t.Fatalf("-nocache run: exit %d", code)
+	}
+	if got, want := wallTimes.ReplaceAllString(uncached, "(T)"), wallTimes.ReplaceAllString(cached, "(T)"); got != want {
+		t.Errorf("-nocache output differs from cached output:\ncached:\n%s\nnocache:\n%s", want, got)
+	}
+	if after := memoCounters(); after != before {
+		t.Errorf("-nocache run touched the cache: counters %+v -> %+v", before, after)
+	}
+}
+
+func memoCounters() [2]float64 {
+	var c [2]float64
+	for _, m := range experiments.SimMemoMetrics() {
+		switch m.Name {
+		case "sim_cache_hits":
+			c[0] = m.Value
+		case "sim_cache_misses":
+			c[1] = m.Value
+		}
+	}
+	return c
 }
 
 // TestOutUnwritablePathExits: asking for an output file that cannot be

@@ -49,27 +49,61 @@ type Engine struct {
 	pfStride   []int64
 	pfSeen     []uint8
 
-	// Per-iteration cache-line coalescing (vectorization): line tag → port
-	// grant time of the first access this iteration.
-	lineGrant map[uint32]float64
+	// Dense per-edge transfer-latency indexing: edges[i] carries the
+	// precomputed index of each of node i's incoming edges into the
+	// Counters.EdgeLatSum/EdgeLatN slices, and edgePairs decodes an index
+	// back to its packed (from,to) pair. Duplicate (from,to) pairs share one
+	// index so per-pair aggregation matches the old map semantics.
+	edges     []nodeEdges
+	edgePairs []uint64
+
+	// Per-iteration cache-line coalescing scratch (vectorization): an
+	// open-addressed line-tag table stamped with the iteration generation,
+	// so it is never cleared or reallocated between iterations. Entries
+	// whose lineGen differs from iterGen are dead; capacity is fixed at
+	// construction (a power of two well above the per-iteration line count,
+	// which is bounded by the graph's memory-node count).
+	lineTag  []uint32
+	lineVal  []float64
+	lineGen  []uint32
+	lineMask uint32
+	iterGen  uint32
+
+	// Per-iteration in-flight store buffer, reused across iterations (reset
+	// to length zero, backing array kept).
+	storeBuf []storeBufEntry
 
 	// Time-multiplexing extension: when the mapper assigned multiple
-	// instructions to one unit, their executions serialize on it.
+	// instructions to one unit, their executions serialize on it. unitOf
+	// maps each node to a dense grid-unit index (-1 for bus fallback);
+	// unitBusy/unitGen are generation-stamped like the line-grant scratch.
 	timeShared  bool
-	unitBusy    map[noc.Coord]float64
+	unitOf      []int32
+	unitBusy    []float64
+	unitGen     []uint32
 	maxUnitWork float64 // largest per-iteration work on any shared unit
 
 	counters Counters
 	activity Activity
 
 	// Observability: nil rec disables tracing entirely (the hot paths pay a
-	// single nil check and never allocate). traceClock is the engine's global
-	// cycle offset; node firings within an iteration are emitted relative to
-	// it and it advances by the iteration latency, so the trace shows the
-	// serialized execution timeline.
+	// single boolean check and never allocate). traced caches rec.Enabled()
+	// so the per-operand paths don't repeat the nil check. traceClock is the
+	// engine's global cycle offset; node firings within an iteration are
+	// emitted relative to it and it advances by the iteration latency, so
+	// the trace shows the serialized execution timeline.
 	rec        *obs.Recorder
+	traced     bool
 	traceClock float64
 	nodeLabel  []string
+}
+
+// nodeEdges holds one node's incoming-edge indices into the dense per-edge
+// counter slices (-1 when the edge is absent).
+type nodeEdges struct {
+	src  [3]int32
+	mem  int32
+	pred int32
 }
 
 // Counters accumulates measured per-node and per-edge latencies — the
@@ -83,10 +117,13 @@ type Counters struct {
 	OpLatSum []float64
 	OpLatN   []uint64
 
-	// EdgeLatSum accumulates observed transfer latency per (from,to) edge,
-	// including NoC queueing.
-	EdgeLatSum map[uint64]float64
-	EdgeLatN   map[uint64]uint64
+	// EdgeLatSum/EdgeLatN accumulate observed transfer latency per distinct
+	// (from,to) edge, including NoC queueing. They are dense slices indexed
+	// by the engine's precomputed edge index; EdgePairs[k] decodes index k to
+	// its packed from<<32|to pair (see edgeKey).
+	EdgeLatSum []float64
+	EdgeLatN   []uint64
+	EdgePairs  []uint64
 
 	// Memory behaviour.
 	Loads, Stores  uint64
@@ -159,15 +196,17 @@ func NewEngine(cfg *Config, g *dfg.Graph, pos []noc.Coord, loopBranch dfg.NodeID
 		pfLastAddr: make([]uint32, n),
 		pfStride:   make([]int64, n),
 		pfSeen:     make([]uint8, n),
-		counters: Counters{
-			OpLatSum:     make([]float64, n),
-			OpLatN:       make([]uint64, n),
-			EdgeLatSum:   make(map[uint64]float64),
-			EdgeLatN:     make(map[uint64]uint64),
-			RowTransfers: make([]uint64, cfg.Rows),
-			PortGrants:   make([]uint64, cfg.MemPorts),
-			PortWait:     make([]float64, cfg.MemPorts),
-		},
+	}
+	e.buildEdgeIndex()
+	e.counters = Counters{
+		OpLatSum:     make([]float64, n),
+		OpLatN:       make([]uint64, n),
+		EdgeLatSum:   make([]float64, len(e.edgePairs)),
+		EdgeLatN:     make([]uint64, len(e.edgePairs)),
+		EdgePairs:    e.edgePairs,
+		RowTransfers: make([]uint64, cfg.Rows),
+		PortGrants:   make([]uint64, cfg.MemPorts),
+		PortWait:     make([]float64, cfg.MemPorts),
 	}
 	e.laneFree = make([][]float64, cfg.Rows)
 	for r := range e.laneFree {
@@ -177,6 +216,22 @@ func NewEngine(cfg *Config, g *dfg.Graph, pos []noc.Coord, loopBranch dfg.NodeID
 		if cfg.InBounds(p) {
 			e.activity.PEsConfigured++
 		}
+	}
+	if cfg.EnableVectorization {
+		// Size the line-grant scratch at 4× the per-iteration line bound (one
+		// table entry per non-coalesced memory access) so probe chains stay
+		// short and insertion never fills the table.
+		memNodes := 0
+		for i := range g.Nodes {
+			if g.Nodes[i].Inst.IsLoad() || g.Nodes[i].Inst.IsStore() {
+				memNodes++
+			}
+		}
+		capacity := nextPow2(max(16, 4*memNodes))
+		e.lineTag = make([]uint32, capacity)
+		e.lineVal = make([]float64, capacity)
+		e.lineGen = make([]uint32, capacity)
+		e.lineMask = uint32(capacity - 1)
 	}
 	// Detect time-shared units (the mapping extension): any coordinate with
 	// more than one instruction serializes its occupants.
@@ -196,9 +251,71 @@ func NewEngine(cfg *Config, g *dfg.Graph, pos []noc.Coord, loopBranch dfg.NodeID
 		}
 	}
 	if e.timeShared {
-		e.unitBusy = make(map[noc.Coord]float64, len(count))
+		// Dense busy-time array over every valid unit slot (PE grid plus the
+		// edge load/store columns), generation-stamped so it needs no
+		// per-iteration clearing. Bus-fallback nodes map to -1 and never
+		// serialize (matching the previous map semantics, which only ever
+		// held in-grid coordinates).
+		stride := cfg.Cols + 2*cfg.EdgeDepth
+		e.unitOf = make([]int32, n)
+		for i, p := range pos {
+			if cfg.InBounds(p) || cfg.IsEdge(p) {
+				e.unitOf[i] = int32(p.Row*stride + p.Col + cfg.EdgeDepth)
+			} else {
+				e.unitOf[i] = -1
+			}
+		}
+		units := cfg.Rows * stride
+		e.unitBusy = make([]float64, units)
+		e.unitGen = make([]uint32, units)
 	}
 	return e, nil
+}
+
+// buildEdgeIndex assigns every distinct (from,to) dependency pair a dense
+// index into the Counters edge slices. Duplicate pairs (a node consuming the
+// same producer through several operand slots) share one index, so per-pair
+// aggregation is identical to the previous map-keyed accumulation.
+func (e *Engine) buildEdgeIndex() {
+	g := e.g
+	e.edges = make([]nodeEdges, g.Len())
+	idxOf := make(map[uint64]int32, g.Len())
+	idx := func(from, to dfg.NodeID) int32 {
+		key := edgeKey(from, to)
+		if i, ok := idxOf[key]; ok {
+			return i
+		}
+		i := int32(len(e.edgePairs))
+		idxOf[key] = i
+		e.edgePairs = append(e.edgePairs, key)
+		return i
+	}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		id := dfg.NodeID(i)
+		ne := nodeEdges{src: [3]int32{-1, -1, -1}, mem: -1, pred: -1}
+		for k := 0; k < 3; k++ {
+			if n.Src[k] != dfg.None {
+				ne.src[k] = idx(n.Src[k], id)
+			}
+		}
+		if n.MemDep != dfg.None {
+			ne.mem = idx(n.MemDep, id)
+		}
+		if n.PredDep != dfg.None {
+			ne.pred = idx(n.PredDep, id)
+		}
+		e.edges[i] = ne
+	}
+}
+
+// nextPow2 returns the smallest power of two >= n (n must be positive).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // Trace thread-ID layout within the accelerator process: tid 0 is the
@@ -217,8 +334,9 @@ func portTID(p int) int32         { return int32(portTIDBase + p) }
 // timing and functional behavior are identical either way.
 func (e *Engine) AttachRecorder(r *obs.Recorder, base float64) {
 	e.rec = r
+	e.traced = r.Enabled()
 	e.traceClock = base
-	if !r.Enabled() {
+	if !e.traced {
 		return
 	}
 	if e.nodeLabel == nil {
@@ -252,8 +370,8 @@ func (e *Engine) onBus(id dfg.NodeID) bool {
 
 // transfer returns the arrival time at `to` of data produced by `from` at
 // time ready, charging interconnect latency and NoC lane contention, and
-// records the measured edge latency.
-func (e *Engine) transfer(from, to dfg.NodeID, ready float64) float64 {
+// records the measured edge latency under the precomputed edge index.
+func (e *Engine) transfer(from, to dfg.NodeID, edge int32, ready float64) float64 {
 	var lat float64
 	switch {
 	case e.onBus(from) || e.onBus(to):
@@ -262,7 +380,7 @@ func (e *Engine) transfer(from, to dfg.NodeID, ready float64) float64 {
 		// model.
 		lat = float64(e.cfg.BusLat)
 		e.counters.BusTransfers++
-		if e.rec.Enabled() {
+		if e.traced {
 			e.rec.Complete(obs.PIDAccel, nodeTID(from), "bus", "bus transfer", e.traceClock+ready, lat)
 		}
 	default:
@@ -288,7 +406,7 @@ func (e *Engine) transfer(from, to dfg.NodeID, ready float64) float64 {
 			e.counters.NoCTransfers++
 			e.counters.RowTransfers[row]++
 			e.activity.NoC += base
-			if e.rec.Enabled() && start > ready {
+			if e.traced && start > ready {
 				e.rec.Complete(obs.PIDAccel, nodeTID(from), "noc", "lane wait", e.traceClock+ready, start-ready)
 			}
 		} else {
@@ -297,8 +415,8 @@ func (e *Engine) transfer(from, to dfg.NodeID, ready float64) float64 {
 			e.counters.LocalTransfers++
 		}
 	}
-	e.counters.EdgeLatSum[edgeKey(from, to)] += lat
-	e.counters.EdgeLatN[edgeKey(from, to)]++
+	e.counters.EdgeLatSum[edge] += lat
+	e.counters.EdgeLatN[edge]++
 	return ready + lat
 }
 
@@ -308,11 +426,26 @@ func (e *Engine) transfer(from, to dfg.NodeID, ready float64) float64 {
 // access's port grant (wide-access merging of same-base loads, §4.2).
 func (e *Engine) port(ready float64, addr uint32) float64 {
 	const lineShift = 6 // 64-byte lines
-	if e.cfg.EnableVectorization {
-		if grant, ok := e.lineGrant[addr>>lineShift]; ok && grant >= ready-1 {
-			e.counters.Coalesced++
-			return math.Max(ready, grant)
+	var lineSlot uint32
+	vectorized := e.cfg.EnableVectorization
+	if vectorized {
+		// Open-addressed probe for this iteration's grant on the line. Slots
+		// stamped with an older generation are dead, so the table is never
+		// cleared between iterations; within a generation nothing is deleted,
+		// so the probe chain for a live key is contiguous and the first stale
+		// slot both terminates the search and receives the insertion.
+		tag := addr >> lineShift
+		slot := (tag * 2654435761) & e.lineMask
+		for e.lineGen[slot] == e.iterGen && e.lineTag[slot] != tag {
+			slot = (slot + 1) & e.lineMask
 		}
+		if e.lineGen[slot] == e.iterGen {
+			if grant := e.lineVal[slot]; grant >= ready-1 {
+				e.counters.Coalesced++
+				return math.Max(ready, grant)
+			}
+		}
+		lineSlot = slot
 	}
 	best := 0
 	for p := 1; p < len(e.portFree); p++ {
@@ -325,10 +458,12 @@ func (e *Engine) port(ready float64, addr uint32) float64 {
 	e.counters.PortGrants[best]++
 	e.counters.PortWait[best] += start - ready
 	e.portFree[best] = start + 1 // ports accept one access per cycle
-	if e.cfg.EnableVectorization {
-		e.lineGrant[addr>>lineShift] = start
+	if vectorized {
+		e.lineTag[lineSlot] = addr >> lineShift
+		e.lineVal[lineSlot] = start
+		e.lineGen[lineSlot] = e.iterGen
 	}
-	if e.rec.Enabled() {
+	if e.traced {
 		e.rec.Complete(obs.PIDAccel, portTID(best), "mem", "port grant", e.traceClock+start, 1)
 	}
 	return start
@@ -367,6 +502,15 @@ type storeBufEntry struct {
 	enabled   bool
 }
 
+// readReg reads an architectural live-in register (x0 and the none sentinel
+// read as zero).
+func readReg(regs *[isa.NumRegs]uint32, r isa.Reg) uint32 {
+	if r == isa.X0 || r == isa.RegNone {
+		return 0
+	}
+	return regs[r]
+}
+
 // RunIteration executes one loop iteration. regs carries the architectural
 // live-in values and receives the live-out values. The returned result gives
 // the iteration latency and whether the loop branch requests another
@@ -382,27 +526,24 @@ func (e *Engine) RunIteration(regs *[isa.NumRegs]uint32) (IterationResult, error
 		}
 	}
 
-	var storeBuf []storeBufEntry
-	total := 0.0
-	if e.cfg.EnableVectorization {
-		e.lineGrant = make(map[uint32]float64)
-	}
-	if e.timeShared {
-		for k := range e.unitBusy {
-			delete(e.unitBusy, k)
-		}
+	// Advance the scratch generation: every line-grant and unit-busy slot
+	// stamped with an older generation becomes dead without any clearing. On
+	// the (astronomically rare) uint32 wraparound, clear the stamps so stale
+	// entries cannot alias the new generation.
+	e.iterGen++
+	if e.iterGen == 0 {
+		clear(e.lineGen)
+		clear(e.unitGen)
+		e.iterGen = 1
 	}
 
-	readReg := func(r isa.Reg) uint32 {
-		if r == isa.X0 || r == isa.RegNone {
-			return 0
-		}
-		return regs[r]
-	}
+	storeBuf := e.storeBuf[:0]
+	total := 0.0
 
 	for i := range g.Nodes {
 		n := &g.Nodes[i]
 		id := dfg.NodeID(i)
+		ne := &e.edges[i]
 
 		// Predication: enabled iff every controlling branch is enabled and
 		// not taken.
@@ -426,18 +567,18 @@ func (e *Engine) RunIteration(regs *[isa.NumRegs]uint32) (IterationResult, error
 			case n.Src[k] != dfg.None:
 				src := n.Src[k]
 				opVal[k] = e.value[src]
-				if a := e.transfer(src, id, e.completion[src]); a > arrival {
+				if a := e.transfer(src, id, ne.src[k], e.completion[src]); a > arrival {
 					arrival = a
 				}
 			case n.LiveIn[k] != isa.RegNone:
-				opVal[k] = readReg(n.LiveIn[k])
+				opVal[k] = readReg(regs, n.LiveIn[k])
 				if liveInLat > arrival {
 					arrival = liveInLat
 				}
 			}
 		}
 		if n.MemDep != dfg.None {
-			if a := e.transfer(n.MemDep, id, e.completion[n.MemDep]); a > arrival {
+			if a := e.transfer(n.MemDep, id, ne.mem, e.completion[n.MemDep]); a > arrival {
 				arrival = a
 			}
 		}
@@ -449,11 +590,11 @@ func (e *Engine) RunIteration(regs *[isa.NumRegs]uint32) (IterationResult, error
 			pa := ctrlArrival
 			if n.PredDep != dfg.None {
 				old = e.value[n.PredDep]
-				if a := e.transfer(n.PredDep, id, e.completion[n.PredDep]); a > pa {
+				if a := e.transfer(n.PredDep, id, ne.pred, e.completion[n.PredDep]); a > pa {
 					pa = a
 				}
 			} else if n.PredLiveIn != isa.RegNone {
-				old = readReg(n.PredLiveIn)
+				old = readReg(regs, n.PredLiveIn)
 				if liveInLat > pa {
 					pa = liveInLat
 				}
@@ -470,8 +611,8 @@ func (e *Engine) RunIteration(regs *[isa.NumRegs]uint32) (IterationResult, error
 		start := arrival
 		// Time-shared units serialize their occupants.
 		if e.timeShared {
-			if bz, ok := e.unitBusy[e.pos[i]]; ok && bz > start {
-				start = bz
+			if u := e.unitOf[i]; u >= 0 && e.unitGen[u] == e.iterGen && e.unitBusy[u] > start {
+				start = e.unitBusy[u]
 			}
 		}
 		var val uint32
@@ -597,14 +738,19 @@ func (e *Engine) RunIteration(regs *[isa.NumRegs]uint32) (IterationResult, error
 
 		e.value[i] = val
 		e.completion[i] = done
-		if e.timeShared && !e.onBus(id) {
-			if done > e.unitBusy[e.pos[i]] {
-				e.unitBusy[e.pos[i]] = done
+		if e.timeShared {
+			if u := e.unitOf[i]; u >= 0 {
+				if e.unitGen[u] != e.iterGen {
+					e.unitGen[u] = e.iterGen
+					e.unitBusy[u] = done
+				} else if done > e.unitBusy[u] {
+					e.unitBusy[u] = done
+				}
 			}
 		}
 		e.counters.OpLatSum[i] += done - start
 		e.counters.OpLatN[i]++
-		if e.rec.Enabled() {
+		if e.traced {
 			e.rec.Complete(obs.PIDAccel, nodeTID(id), "accel", e.nodeLabel[i], e.traceClock+start, done-start)
 		}
 		if done > total {
@@ -612,8 +758,10 @@ func (e *Engine) RunIteration(regs *[isa.NumRegs]uint32) (IterationResult, error
 		}
 	}
 
-	// Commit enabled stores to memory in program order.
-	for _, st := range storeBuf {
+	// Commit enabled stores to memory in program order, then park the buffer's
+	// grown backing array on the engine for the next iteration.
+	for i := range storeBuf {
+		st := &storeBuf[i]
 		if !st.enabled || !e.enabled[st.node] {
 			continue
 		}
@@ -621,6 +769,7 @@ func (e *Engine) RunIteration(regs *[isa.NumRegs]uint32) (IterationResult, error
 			return IterationResult{}, err
 		}
 	}
+	e.storeBuf = storeBuf
 
 	// Update architectural live-outs.
 	for r, id := range g.LiveOut {
@@ -636,7 +785,7 @@ func (e *Engine) RunIteration(regs *[isa.NumRegs]uint32) (IterationResult, error
 
 	e.counters.Iterations++
 	e.counters.ActiveCycles += total
-	if e.rec.Enabled() {
+	if e.traced {
 		e.rec.Complete(obs.PIDAccel, iterTID, "accel", "iteration", e.traceClock, total)
 		e.traceClock += total
 	}
@@ -663,8 +812,10 @@ func (e *Engine) loadWithBuffer(op isa.Op, addr uint32, buf []storeBufEntry) (ui
 		return e.mem.Load(op, addr)
 	}
 	// Overlay: apply buffered stores byte-wise onto a copy of the loaded
-	// bytes. Rare path (aliasing within one iteration).
-	bytes := make([]byte, width)
+	// bytes. Rare path (aliasing within one iteration); accesses are at most
+	// 4 bytes wide, so the scratch lives on the stack.
+	var scratch [4]byte
+	bytes := scratch[:width]
 	for k := range bytes {
 		bytes[k] = e.mem.LoadByte(addr + uint32(k))
 	}
@@ -709,8 +860,9 @@ func (e *Engine) ResetCounters() {
 	e.counters = Counters{
 		OpLatSum:     make([]float64, n),
 		OpLatN:       make([]uint64, n),
-		EdgeLatSum:   make(map[uint64]float64),
-		EdgeLatN:     make(map[uint64]uint64),
+		EdgeLatSum:   make([]float64, len(e.edgePairs)),
+		EdgeLatN:     make([]uint64, len(e.edgePairs)),
+		EdgePairs:    e.edgePairs,
 		RowTransfers: make([]uint64, e.cfg.Rows),
 		PortGrants:   make([]uint64, e.cfg.MemPorts),
 		PortWait:     make([]float64, e.cfg.MemPorts),

@@ -1,0 +1,19 @@
+package accel
+
+import (
+	"fmt"
+	"io"
+)
+
+// Fingerprint writes a deterministic description of every simulation-relevant
+// configuration field to w, for content-hash cache keys: two configs with the
+// same fingerprint produce identical simulated timing for the same program.
+// The interconnect is identified by its concrete type and value (all
+// implementations are plain-data structs).
+func (c *Config) Fingerprint(w io.Writer) {
+	fmt.Fprintf(w, "accel|%s|%d|%d|%d|%d|%T%+v|%d|%d|%v|%g|%d|%t|%t|%g",
+		c.Name, c.Rows, c.Cols, c.EdgeDepth, c.FPSlice,
+		c.Interconnect, c.Interconnect,
+		c.NoCLanesPerRow, c.MemPorts, c.OpLat, c.LoadLatEstimate, c.BusLat,
+		c.EnablePrefetch, c.EnableVectorization, c.ClockGHz)
+}

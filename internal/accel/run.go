@@ -165,11 +165,12 @@ func (e *Engine) Feedback(g *dfg.Graph) (nodes, edges int, err error) {
 			g.Nodes[i].OpLat = measured
 		}
 	}
-	for key, sum := range e.counters.EdgeLatSum {
-		n := e.counters.EdgeLatN[key]
+	for k, sum := range e.counters.EdgeLatSum {
+		n := e.counters.EdgeLatN[k]
 		if n == 0 {
 			continue
 		}
+		key := e.counters.EdgePairs[k]
 		from := dfg.NodeID(key >> 32)
 		to := dfg.NodeID(key & 0xFFFFFFFF)
 		measured := sum / float64(n)

@@ -1,0 +1,30 @@
+package cpu
+
+import (
+	"fmt"
+	"io"
+
+	"mesa/internal/isa"
+)
+
+// Fingerprint writes a deterministic description of every timing-relevant
+// core parameter to w, for content-hash cache keys. The FU pools are
+// emitted in class order, not map order, so equal configs always produce
+// equal fingerprints.
+func (c Config) Fingerprint(w io.Writer) {
+	fmt.Fprintf(w, "cpu|%s|%d|%d|%d|%d|%d|",
+		c.Name, c.FetchWidth, c.IssueWidth, c.ROBSize, c.DecodeToIssue, c.MispredictPenalty)
+	for cls := isa.Class(0); cls < isa.NumClasses; cls++ {
+		if fu, ok := c.FUs[cls]; ok {
+			fmt.Fprintf(w, "fu%d:%d,%d,%t|", cls, fu.Count, fu.Latency, fu.Pipelined)
+		}
+	}
+	fmt.Fprintf(w, "%d|%t|%g", c.MemPorts, c.StridePrefetcher, c.ClockGHz)
+}
+
+// Fingerprint writes a deterministic description of the multicore baseline
+// parameters (including the per-core config) to w.
+func (mc MulticoreConfig) Fingerprint(w io.Writer) {
+	fmt.Fprintf(w, "mc|%d|%g|%d|", mc.Cores, mc.ForkJoinOverhead, mc.SampleChunks)
+	mc.Core.Fingerprint(w)
+}

@@ -31,8 +31,20 @@ type CPURun struct {
 	Cores    int
 }
 
-// TimeSingleCore times a kernel on one out-of-order core.
+// TimeSingleCore times a kernel on one out-of-order core. Results are
+// memoized across experiments (see memo.go): treat the returned CPURun as
+// read-only.
 func TimeSingleCore(k *kernels.Kernel, cfg cpu.Config) (*CPURun, error) {
+	v, err := memoDo("cpu1", k, cfg.Fingerprint, func() (any, error) {
+		return timeSingleCoreUncached(k, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*CPURun), nil
+}
+
+func timeSingleCoreUncached(k *kernels.Kernel, cfg cpu.Config) (*CPURun, error) {
 	prog, _, err := k.Program()
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", k.Name, err)
@@ -57,6 +69,20 @@ func TimeMulticore(k *kernels.Kernel, mc cpu.MulticoreConfig) (*CPURun, error) {
 		}
 		return r, nil
 	}
+	// The chunk programs are derived deterministically from the kernel's
+	// full program, so hashing the latter (plus the multicore config)
+	// contents-addresses the whole parallel run. Treat the result as
+	// read-only (shared across cache hits).
+	v, err := memoDo("cpuN", k, mc.Fingerprint, func() (any, error) {
+		return timeMulticoreUncached(k, mc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*CPURun), nil
+}
+
+func timeMulticoreUncached(k *kernels.Kernel, mc cpu.MulticoreConfig) (*CPURun, error) {
 	res, err := cpu.TimeParallel(mc, func(chunk, cores int) (*cpu.Result, error) {
 		prog, _, err := k.ChunkProgram(chunk, cores)
 		if err != nil {
@@ -104,6 +130,11 @@ type MESAOptions struct {
 // the profiling iterations executed before offload. A kernel whose hot loop
 // fails detection or mapping is reported with Qualified=false and CPU-only
 // cycles.
+//
+// The controller run and result verification are memoized across experiments
+// (cpuPerIter only affects the cheap derivation below, never the simulation,
+// so call sites with different per-iteration CPU costs still share one
+// simulation). The shared Report must be treated as read-only.
 func RunMESA(k *kernels.Kernel, be *accel.Config, cpuPerIter float64, o MESAOptions) (*MESARun, error) {
 	prog, loopStart, err := k.Program()
 	if err != nil {
@@ -120,16 +151,23 @@ func RunMESA(k *kernels.Kernel, be *accel.Config, cpuPerIter float64, o MESAOpti
 		opts.EnableTiling = false
 		opts.EnablePipelining = false
 	}
-	ctl := core.NewController(opts)
-	m := k.NewMemory(Seed)
-	hier := mem.MustHierarchy(mem.DefaultHierarchy())
-	report, _, err := ctl.Run(prog, m, hier, MaxSteps)
+	v, err := memoDo("mesa", k, opts.Fingerprint, func() (any, error) {
+		ctl := core.NewController(opts)
+		m := k.NewMemory(Seed)
+		hier := mem.MustHierarchy(mem.DefaultHierarchy())
+		report, _, err := ctl.Run(prog, m, hier, MaxSteps)
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", k.Name, be.Name, err)
+		}
+		if err := k.Verify(m); err != nil {
+			return nil, fmt.Errorf("%s on %s: verification failed: %w", k.Name, be.Name, err)
+		}
+		return report, nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("%s on %s: %w", k.Name, be.Name, err)
+		return nil, err
 	}
-	if err := k.Verify(m); err != nil {
-		return nil, fmt.Errorf("%s on %s: verification failed: %w", k.Name, be.Name, err)
-	}
+	report := v.(*core.Report)
 
 	run := &MESARun{Backend: be.Name, Report: report}
 	if len(report.Regions) == 0 {

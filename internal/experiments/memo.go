@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"mesa/internal/isa"
+	"mesa/internal/kernels"
+	"mesa/internal/obs"
+)
+
+// simMemo is the cross-experiment simulation-result cache: figures, tables,
+// and ablations repeatedly time the same (kernel, configuration) pair, and
+// every such simulation is deterministic — same assembled program, same
+// seeded memory, same config, same result. Entries are keyed by a content
+// hash of the assembled program bytes plus the full timing-relevant
+// configuration fingerprint, so a hit is only possible when the simulation
+// would be bit-for-bit identical.
+//
+// The cache is single-flight: concurrent requests for the same key run the
+// simulation once and share the result. That makes the hit/miss counters
+// worker-count-invariant (misses = distinct keys, hits = lookups − misses),
+// preserving mesabench's byte-identical `-parallel N` vs `-parallel 1`
+// guarantee even for `-stats` output.
+//
+// Cached values (and the errors of failed simulations) are shared across
+// callers and goroutines: callers must treat them as read-only. Every
+// existing consumer only reads the returned structs; publication via the
+// entry's done channel provides the happens-before edge.
+type memoCache struct {
+	mu      sync.Mutex
+	entries map[string]*memoEntry
+	hits    uint64
+	misses  uint64
+}
+
+type memoEntry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+var (
+	simMemo     = &memoCache{entries: map[string]*memoEntry{}}
+	memoEnabled atomic.Bool
+)
+
+func init() { memoEnabled.Store(true) }
+
+// SetSimMemoEnabled toggles the simulation-result cache (mesabench's
+// `-nocache` escape hatch). Disabling does not clear existing entries;
+// re-enabling resumes using them.
+func SetSimMemoEnabled(on bool) { memoEnabled.Store(on) }
+
+// ResetSimMemo drops all cached results and zeroes the hit/miss counters
+// (tests, and cold/warm differential comparisons).
+func ResetSimMemo() {
+	simMemo.mu.Lock()
+	simMemo.entries = map[string]*memoEntry{}
+	simMemo.hits, simMemo.misses = 0, 0
+	simMemo.mu.Unlock()
+}
+
+// SimMemoMetrics snapshots the cache-effectiveness counters for `-stats`.
+// All values are worker-count-invariant (see the single-flight note above).
+func SimMemoMetrics() []obs.Metric {
+	simMemo.mu.Lock()
+	defer simMemo.mu.Unlock()
+	return []obs.Metric{
+		obs.Count("sim_cache_hits", simMemo.hits),
+		obs.Count("sim_cache_misses", simMemo.misses),
+		obs.Count("sim_cache_entries", uint64(len(simMemo.entries))),
+	}
+}
+
+// do returns the cached value for key, or runs f once (single-flight) and
+// caches its result — including its error, so a failing configuration fails
+// identically on every lookup.
+func (c *memoCache) do(key string, f func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if ent, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-ent.done
+		return ent.val, ent.err
+	}
+	ent := &memoEntry{done: make(chan struct{})}
+	c.entries[key] = ent
+	c.misses++
+	c.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			// Unblock waiters before propagating: they see an error naming
+			// the panic, the panicking goroutine keeps its stack.
+			ent.err = fmt.Errorf("experiments: memoized simulation panicked: %v", r)
+			close(ent.done)
+			panic(r)
+		}
+	}()
+	ent.val, ent.err = f()
+	close(ent.done)
+	return ent.val, ent.err
+}
+
+// memoDo wraps a simulation in the cache. kind namespaces the entry point
+// ("cpu1", "cpuN", "mesa"); fill appends the configuration fingerprint to
+// the key hash. If the cache is disabled or the kernel's program cannot be
+// assembled, f runs uncached (the latter so error wrapping stays exactly as
+// before).
+func memoDo(kind string, k *kernels.Kernel, fill func(io.Writer), f func() (any, error)) (any, error) {
+	if !memoEnabled.Load() {
+		return f()
+	}
+	key, err := memoKey(kind, k, fill)
+	if err != nil {
+		return f()
+	}
+	return simMemo.do(key, f)
+}
+
+// memoKey builds the content-hash key: entry-point kind, kernel identity
+// (name and problem size determine the seeded memory image), the assembled
+// program bytes (base address plus encoded instruction words — layout and
+// addresses are fully determined by these), the global simulation bounds,
+// and the caller-supplied configuration fingerprint.
+func memoKey(kind string, k *kernels.Kernel, fill func(io.Writer)) (string, error) {
+	prog, _, err := k.Program()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%d|%t|base%d|", kind, k.Name, k.N, k.Parallel, prog.Base)
+	var word [4]byte
+	for _, in := range prog.Insts {
+		enc, err := isa.Encode(in)
+		if err != nil {
+			// Unencodable pseudo-instruction: hash its full printed form.
+			fmt.Fprintf(h, "raw%+v|", in)
+			continue
+		}
+		binary.LittleEndian.PutUint32(word[:], enc)
+		h.Write(word[:])
+	}
+	fmt.Fprintf(h, "|seed%d|steps%d|", Seed, MaxSteps)
+	fill(h)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
