@@ -1,6 +1,7 @@
 # Pre-merge checks for the MESA reproduction.
 #
-#   make ci          # everything a PR must pass: vet + test + test-race + bench-check
+#   make ci          # everything a PR must pass: vet + lint + test + test-race + bench-check
+#   make lint        # staticcheck (pinned version; skipped with a notice when unavailable offline)
 #   make test        # tier-1: go build + go test
 #   make test-race   # the sweep fan-out must be race-clean
 #   make bench       # run the Go benchmarks once with -benchmem (allocation counts)
@@ -13,10 +14,25 @@
 
 GO ?= go
 BENCH_TOL ?= 0.02
+# Pinned so every machine lints with the same rule set; bump deliberately.
+STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: ci build vet test test-race bench bench-json bench-check bench-baseline bench-attrib
+.PHONY: ci build vet lint test test-race bench bench-json bench-check bench-baseline bench-attrib
 
-ci: vet test test-race bench-check
+ci: vet lint test test-race bench-check
+
+# Prefer a staticcheck already on PATH (matching any version is better than
+# nothing), else fetch the pinned version via `go run`. Offline sandboxes
+# have neither; skip with a notice rather than failing the whole gate on a
+# network error.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	elif $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) -version >/dev/null 2>&1; then \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	else \
+		echo "lint: staticcheck unavailable (offline?); skipping"; \
+	fi
 
 build:
 	$(GO) build ./...

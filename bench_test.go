@@ -136,7 +136,7 @@ func BenchmarkTimeShareExtension(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		be := accel.M64()
 		opts := core.DefaultOptions(be)
-		opts.Mapper.TimeShare = 2
+		opts.MapperOpts.TimeShare = 2
 		opts.Detector.MaxInsts = 0
 		opts.Detector.ParallelLoops = map[uint32]bool{loopStart: true}
 		ctl := core.NewController(opts)

@@ -10,6 +10,8 @@
 //	mesabench -json fig12     # structured output
 //	mesabench -stats s.json   # also write a worker pool + sim-cache metrics report
 //	mesabench -nocache        # disable the simulation-result cache (every run cold)
+//	mesabench -mapper greedy+anneal   # placement strategy for every MESA run
+//	mesabench mappers         # mapper-strategy ablation table
 //
 //	mesabench -out BENCH.json                        # write a schema-versioned perf snapshot
 //	mesabench -check BENCH_baseline.json -tol 0.02   # exit non-zero on any metric regression
@@ -40,6 +42,7 @@ import (
 	"time"
 
 	"mesa/internal/experiments"
+	"mesa/internal/mapping"
 	"mesa/internal/obs"
 )
 
@@ -62,6 +65,7 @@ var all = []experiment{
 	{"fig15", renderFigure15, dataFigure15},
 	{"fig16", renderFigure16, dataFigure16},
 	{"ablations", renderAblations, dataAblations},
+	{"mappers", renderMappers, dataMappers},
 	{"attrib", renderAttrib, dataAttrib},
 }
 
@@ -99,6 +103,8 @@ func main() {
 		"worker count for the experiment sweeps; 1 runs everything serially")
 	noCache := flag.Bool("nocache", false,
 		"disable the cross-experiment simulation-result cache (every simulation runs cold)")
+	mapper := flag.String("mapper", mapping.Default().Name(),
+		"placement strategy for MESA runs ("+strings.Join(mapping.Names(), ", ")+")")
 	flag.Usage = usage
 	flag.Parse() // exits 2 with usage on unrecognized flags
 
@@ -108,6 +114,13 @@ func main() {
 		os.Exit(2)
 	}
 	experiments.SetWorkers(*parallel)
+	strat, err := mapping.ByName(*mapper)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mesabench: %v\n", err)
+		usage()
+		os.Exit(2)
+	}
+	experiments.SetMapperStrategy(strat)
 
 	selected := map[string]bool{}
 	for _, arg := range flag.Args() {

@@ -86,6 +86,14 @@ func renderAblations() (string, error) {
 	return experiments.RenderAblations()
 }
 
+func renderMappers() (string, error) {
+	r, err := experiments.Mappers()
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
 func renderAttrib() (string, error) {
 	r, err := experiments.Attrib()
 	if err != nil {
@@ -108,6 +116,7 @@ func dataFigure14() (any, error) { return experiments.Figure14() }
 func dataFigure15() (any, error) { return experiments.Figure15() }
 func dataFigure16() (any, error) { return experiments.Figure16() }
 func dataAttrib() (any, error)   { return experiments.Attrib() }
+func dataMappers() (any, error)  { return experiments.Mappers() }
 
 func dataAblations() (any, error) {
 	win, err := experiments.WindowAblation()

@@ -5,36 +5,44 @@
 //
 // Usage:
 //
-//	mesamap [-backend M-64|M-128|M-512] <kernel>
+//	mesamap [-backend M-64|M-128|M-512] [-mapper strategy] <kernel>
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mesa/internal/accel"
 	"mesa/internal/core"
 	"mesa/internal/dfg"
 	"mesa/internal/kernels"
+	"mesa/internal/mapping"
 )
 
 func main() {
 	backend := flag.String("backend", "M-128", "accelerator configuration: M-64, M-128, M-512")
+	mapper := flag.String("mapper", mapping.Default().Name(),
+		"placement strategy ("+strings.Join(mapping.Names(), ", ")+")")
 	dot := flag.Bool("dot", false, "emit the mapped DFG in Graphviz DOT format instead of text")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mesamap [-backend name] [-dot] <kernel>")
+		fmt.Fprintln(os.Stderr, "usage: mesamap [-backend name] [-mapper strategy] [-dot] <kernel>")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *backend, *dot); err != nil {
+	if err := run(flag.Arg(0), *backend, *mapper, *dot); err != nil {
 		fmt.Fprintln(os.Stderr, "mesamap:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name, backendName string, emitDot bool) error {
+func run(name, backendName, mapperName string, emitDot bool) error {
 	k, err := kernels.ByName(name)
+	if err != nil {
+		return err
+	}
+	strat, err := mapping.ByName(mapperName)
 	if err != nil {
 		return err
 	}
@@ -67,7 +75,7 @@ func run(name, backendName string, emitDot bool) error {
 		if err != nil {
 			return err
 		}
-		sdfg, _, err := core.NewMapper(core.DefaultMapperOptions()).Map(ldfg, be)
+		sdfg, _, err := strat.Map(ldfg, be, core.DefaultMapperOptions())
 		if err != nil {
 			return err
 		}
@@ -104,13 +112,16 @@ func run(name, backendName string, emitDot bool) error {
 	}
 	fmt.Printf("induction updates: %v, loop branch: i%d\n", ldfg.Inductions, ldfg.LoopBranch)
 
-	sdfg, stats, err := core.NewMapper(core.DefaultMapperOptions()).Map(ldfg, be)
+	sdfg, stats, err := strat.Map(ldfg, be, core.DefaultMapperOptions())
 	if err != nil {
 		return fmt.Errorf("mapping failed (structural hazard): %w", err)
 	}
-	fmt.Printf("\nSDFG (T2: spatial mapping by Algorithm 1):\n%s", sdfg.String())
+	fmt.Printf("\nSDFG (T2: spatial mapping, %s strategy):\n%s", strat.Name(), sdfg.String())
 	fmt.Printf("mapper: %d PE placements, %d LSU placements, %d bus fallbacks, %d candidates scanned\n",
 		stats.PEPlacements, stats.LSUPlacements, stats.BusFallbacks, stats.CandidatesScanned)
+	if stats.RefineSteps > 0 {
+		fmt.Printf("refinement: %d/%d proposals accepted\n", stats.RefineAccepted, stats.RefineSteps)
+	}
 
 	ev := sdfg.Evaluate()
 	fmt.Printf("\nperformance model (Equation 2 over the mapped graph):\n")

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// captureStdout runs f with os.Stdout redirected and returns what it printed.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestRunGolden pins the full text output of the translation-pipeline
+// report per strategy. Everything mesamap prints is a deterministic function
+// of (kernel, backend, strategy), so the bytes must not drift; regenerate
+// deliberately with `go test ./cmd/mesamap -run Golden -update`.
+func TestRunGolden(t *testing.T) {
+	cases := []struct {
+		file, kernel, backend, mapper string
+	}{
+		{"nn_greedy", "nn", "M-128", "greedy"},
+		{"nn_anneal", "nn", "M-128", "greedy+anneal"},
+		{"nn_congestion", "nn", "M-128", "congestion"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			out := captureStdout(t, func() {
+				if err := run(tc.kernel, tc.backend, tc.mapper, false); err != nil {
+					t.Fatal(err)
+				}
+			})
+			golden := filepath.Join("testdata", tc.file+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if out != string(want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, out, want)
+			}
+			// The same invocation must reproduce the same bytes.
+			again := captureStdout(t, func() {
+				if err := run(tc.kernel, tc.backend, tc.mapper, false); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if again != out {
+				t.Error("two identical runs printed different output")
+			}
+		})
+	}
+}
+
+// TestRunUnknownMapper pins the -mapper error message: it names the bad
+// strategy and lists the registered ones.
+func TestRunUnknownMapper(t *testing.T) {
+	err := run("nn", "M-128", "bogus", false)
+	if err == nil {
+		t.Fatal("unknown -mapper: no error")
+	}
+	msg := err.Error()
+	for _, want := range []string{`unknown strategy "bogus"`, "congestion", "greedy", "greedy+anneal"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestRunUnknownBackend keeps the pre-existing backend error intact.
+func TestRunUnknownBackend(t *testing.T) {
+	err := run("nn", "M-999", "greedy", false)
+	if err == nil || !strings.Contains(err.Error(), `unknown backend "M-999"`) {
+		t.Errorf("unknown backend error = %v", err)
+	}
+}
+
+// TestRunDot keeps the DOT path working under every strategy.
+func TestRunDot(t *testing.T) {
+	for _, mapper := range []string{"greedy", "greedy+anneal", "congestion"} {
+		out := captureStdout(t, func() {
+			if err := run("nn", "M-128", mapper, true); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if !strings.Contains(out, "digraph") {
+			t.Errorf("%s: -dot output is not a digraph:\n%s", mapper, out)
+		}
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mesasim [-backend M-64|M-128|M-512] [-cores N] [-no-tiling] [-no-pipeline] <kernel>
+//	mesasim [-backend M-64|M-128|M-512] [-mapper strategy] [-cores N] [-no-tiling] [-no-pipeline] <kernel>
 //	mesasim -explain <kernel>
 //	mesasim -trace trace.json -stats stats.json <kernel>
 //	mesasim -cpuprofile cpu.pprof -memprofile mem.pprof <kernel>
@@ -27,12 +27,14 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"mesa/internal/accel"
 	"mesa/internal/core"
 	"mesa/internal/cpu"
 	"mesa/internal/energy"
 	"mesa/internal/kernels"
+	"mesa/internal/mapping"
 	"mesa/internal/mem"
 	"mesa/internal/obs"
 	"mesa/internal/sim"
@@ -41,6 +43,7 @@ import (
 // options collects the run configuration from the command line.
 type options struct {
 	backend    string
+	mapper     string
 	cores      int
 	noTiling   bool
 	noPipeline bool
@@ -53,6 +56,8 @@ type options struct {
 func main() {
 	var o options
 	flag.StringVar(&o.backend, "backend", "M-128", "accelerator configuration: M-64, M-128, M-512")
+	flag.StringVar(&o.mapper, "mapper", mapping.Default().Name(),
+		"placement strategy ("+strings.Join(mapping.Names(), ", ")+")")
 	flag.IntVar(&o.cores, "cores", 16, "CPU baseline core count")
 	flag.BoolVar(&o.noTiling, "no-tiling", false, "disable spatial tiling")
 	flag.BoolVar(&o.noPipeline, "no-pipeline", false, "disable iteration pipelining")
@@ -136,6 +141,11 @@ func run(name string, o options) error {
 	if err != nil {
 		return err
 	}
+	// Resolve the strategy before any simulation so a typo fails fast.
+	strat, err := mapping.ByName(o.mapper)
+	if err != nil {
+		return err
+	}
 	var be *accel.Config
 	switch o.backend {
 	case "M-64":
@@ -208,11 +218,12 @@ func run(name string, o options) error {
 
 	// 3. MESA transparent offload.
 	opts := core.DefaultOptions(be)
+	opts.Mapper = strat
 	opts.EnableTiling = !o.noTiling
 	opts.EnablePipelining = !o.noPipeline
 	opts.Recorder = rec
 	if o.timeShare > 1 {
-		opts.Mapper.TimeShare = o.timeShare
+		opts.MapperOpts.TimeShare = o.timeShare
 		opts.Detector.MaxInsts = 0 // rederive capacity with the extension
 	}
 	if k.Parallel {

@@ -6,6 +6,7 @@ import (
 	"mesa/internal/accel"
 	"mesa/internal/dfg"
 	"mesa/internal/isa"
+	"mesa/internal/mapping"
 	"mesa/internal/mem"
 	"mesa/internal/obs"
 	"mesa/internal/sim"
@@ -19,7 +20,17 @@ const defaultPlanningHorizon = 4096.0
 type Options struct {
 	Backend  *accel.Config
 	Detector DetectorConfig
-	Mapper   MapperOptions
+
+	// Mapper is the placement strategy (nil selects mapping.Default(), the
+	// paper's greedy hardware mapper). The strategy name participates in
+	// Fingerprint, so cached results never cross strategies.
+	Mapper mapping.Strategy
+
+	// MapperOpts tunes Algorithm 1's hardware parameters; every strategy
+	// receives them (refinement strategies also read the extra fields —
+	// Seed, RefineSteps — while the controller fills Tiles and Attrib
+	// per call).
+	MapperOpts MapperOptions
 
 	// OptimizeBatch is the number of accelerated iterations executed
 	// between optimization rounds (counter-sampling windows).
@@ -65,7 +76,8 @@ func DefaultOptions(backend *accel.Config) Options {
 	return Options{
 		Backend:                backend,
 		Detector:               det,
-		Mapper:                 DefaultMapperOptions(),
+		Mapper:                 mapping.Default(),
+		MapperOpts:             DefaultMapperOptions(),
 		OptimizeBatch:          32,
 		MaxOptimizeRounds:      3,
 		ImproveThreshold:       0.03,
@@ -144,9 +156,8 @@ type Report struct {
 // accelerable regions, builds and maps DFGs, configures the accelerator,
 // offloads execution, and iteratively re-optimizes from measured counters.
 type Controller struct {
-	opts   Options
-	mapper *Mapper
-	cache  *ConfigCache
+	opts  Options
+	cache *ConfigCache
 
 	detector *Detector
 	detected *Region
@@ -168,7 +179,7 @@ func NewController(opts Options) *Controller {
 		opts.Detector = DefaultDetectorConfig(opts.Backend.MaxInstructions())
 		opts.Detector.SupportsFP = opts.Backend.FPSlice > 0
 		opts.Detector.ParallelLoops = par
-		if ts := opts.Mapper.TimeShare; ts > 1 {
+		if ts := opts.MapperOpts.TimeShare; ts > 1 {
 			// The time-multiplexing extension grows the structural capacity
 			// criterion C1 checks.
 			opts.Detector.MaxInsts *= ts
@@ -183,12 +194,37 @@ func NewController(opts Options) *Controller {
 	if opts.MaxLoopIterations == 0 {
 		opts.MaxLoopIterations = 50_000_000
 	}
-	return &Controller{
-		opts:   opts,
-		mapper: NewMapper(opts.Mapper),
-		cache:  NewConfigCache(opts.ConfigCacheSize),
-		rec:    opts.Recorder,
+	if opts.Mapper == nil {
+		opts.Mapper = mapping.Default()
 	}
+	return &Controller{
+		opts:  opts,
+		cache: NewConfigCache(opts.ConfigCacheSize),
+		rec:   opts.Recorder,
+	}
+}
+
+// mapRegion invokes the configured strategy with the controller's static
+// mapper options plus the per-call context: the tile count the placement
+// will run under and, on re-optimization rounds, the measured bottleneck
+// attribution that feedback-driven strategies bias on.
+func (c *Controller) mapRegion(ldfg *LDFG, tiles int, attrib *accel.Attribution) (*SDFG, *MapStats, error) {
+	mo := c.opts.MapperOpts
+	mo.Tiles = tiles
+	mo.Attrib = attrib
+	sdfg, stats, err := c.opts.Mapper.Map(ldfg, c.opts.Backend, mo)
+	if err != nil {
+		return nil, nil, err
+	}
+	if c.rec.Enabled() {
+		c.rec.InstantArgs(obs.PIDController, 0, "fsm", "map "+c.opts.Mapper.Name(), c.now,
+			map[string]any{
+				"nodes": stats.Nodes, "pe": stats.PEPlacements, "lsu": stats.LSUPlacements,
+				"bus": stats.BusFallbacks, "full_searches": stats.FullSearches,
+				"candidates": stats.CandidatesScanned, "refine_accepted": stats.RefineAccepted,
+			})
+	}
+	return sdfg, stats, nil
 }
 
 // Trace implements sim.Tracer: the controller's monitoring hook.
@@ -310,7 +346,7 @@ func (c *Controller) configure(region *Region, report *Report, regs *[isa.NumReg
 	if err != nil {
 		return nil, err
 	}
-	sdfg, stats, err := c.mapper.Map(ldfg, be)
+	sdfg, stats, err := c.mapRegion(ldfg, 1, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -530,7 +566,10 @@ func (c *Controller) offload(cr *configuredRegion, machine *sim.Machine, hier *m
 			current := cr.sdfg.Evaluate().Total
 			currentII := cr.sdfg.PredictedII(cr.tiles)
 			g.ClearMeasurements() // candidate placements use interconnect estimates
-			newSDFG, newStats, mapErr := c.mapper.Map(cr.ldfg, be)
+			// The measured attribution flows into the remap: feedback-driven
+			// strategies (congestion) re-place away from the hot resources
+			// it names, closing the measure → re-optimize loop.
+			newSDFG, newStats, mapErr := c.mapRegion(cr.ldfg, cr.tiles, res.Attrib)
 			if mapErr == nil {
 				predicted := newSDFG.Evaluate().Total
 				roundRep.Predicted = predicted

@@ -8,6 +8,7 @@ import (
 	"mesa/internal/asm"
 	"mesa/internal/dfg"
 	"mesa/internal/isa"
+	"mesa/internal/mapping"
 	"mesa/internal/noc"
 )
 
@@ -439,8 +440,8 @@ func TestConfigCache(t *testing.T) {
 func TestReductionDepth(t *testing.T) {
 	cases := map[int]int{0: 1, 1: 1, 2: 1, 3: 2, 8: 3, 32: 5, 33: 6}
 	for n, want := range cases {
-		if got := reductionDepth(n); got != want {
-			t.Errorf("reductionDepth(%d) = %d, want %d", n, got, want)
+		if got := mapping.ReductionDepth(n); got != want {
+			t.Errorf("mapping.ReductionDepth(%d) = %d, want %d", n, got, want)
 		}
 	}
 }

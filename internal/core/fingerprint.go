@@ -27,9 +27,18 @@ func (o *Options) Fingerprint(w io.Writer) {
 	for _, a := range addrs {
 		fmt.Fprintf(w, "p%d|", a)
 	}
-	m := &o.Mapper
-	fmt.Fprintf(w, "map|%d|%d|%t|%t|%d|",
-		m.WindowRows, m.WindowCols, m.FullSearchFallback, m.DisableTieBreak, m.TimeShare)
+	// The strategy name keys the placement algorithm itself, so cached
+	// results from one strategy are never served for another. MapperOpts
+	// .Attrib is deliberately excluded: it is per-call feedback the
+	// controller fills during a run, never part of the static options.
+	name := "greedy"
+	if o.Mapper != nil {
+		name = o.Mapper.Name()
+	}
+	m := &o.MapperOpts
+	fmt.Fprintf(w, "map|%s|%d|%d|%t|%t|%d|%d|%d|%d|",
+		name, m.WindowRows, m.WindowCols, m.FullSearchFallback, m.DisableTieBreak,
+		m.TimeShare, m.Tiles, m.Seed, m.RefineSteps)
 	fmt.Fprintf(w, "%d|%d|%g|%t|%t|%d|%d|%d|%d",
 		o.OptimizeBatch, o.MaxOptimizeRounds, o.ImproveThreshold,
 		o.EnableTiling, o.EnablePipelining, o.MaxTiles,

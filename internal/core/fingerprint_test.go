@@ -1,0 +1,69 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mesa/internal/accel"
+	"mesa/internal/mapping"
+)
+
+func fingerprintOf(t *testing.T, o *Options) string {
+	t.Helper()
+	var b strings.Builder
+	o.Fingerprint(&b)
+	return b.String()
+}
+
+// TestFingerprintDistinguishesStrategies: the memo-cache key must change
+// with the placement strategy, so results computed under one mapper are
+// never served for another.
+func TestFingerprintDistinguishesStrategies(t *testing.T) {
+	base := DefaultOptions(accel.M128())
+	prints := map[string]string{}
+	for _, name := range mapping.Names() {
+		strat, err := mapping.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := base
+		o.Mapper = strat
+		fp := fingerprintOf(t, &o)
+		for other, ofp := range prints {
+			if fp == ofp {
+				t.Errorf("strategies %q and %q produce identical fingerprints", name, other)
+			}
+		}
+		prints[name] = fp
+	}
+
+	// A nil Mapper means the greedy default and must key like it.
+	o := base
+	o.Mapper = nil
+	if got, want := fingerprintOf(t, &o), prints["greedy"]; got != want {
+		t.Errorf("nil Mapper fingerprint differs from greedy:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestFingerprintKeysRefinementKnobs: the annealing budget and seed are
+// timing-relevant under greedy+anneal and must perturb the key.
+func TestFingerprintKeysRefinementKnobs(t *testing.T) {
+	o := DefaultOptions(accel.M128())
+	anneal, err := mapping.ByName("greedy+anneal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Mapper = anneal
+	base := fingerprintOf(t, &o)
+
+	seeded := o
+	seeded.MapperOpts.Seed = 7
+	if fingerprintOf(t, &seeded) == base {
+		t.Error("MapperOpts.Seed does not perturb the fingerprint")
+	}
+	steps := o
+	steps.MapperOpts.RefineSteps = 50
+	if fingerprintOf(t, &steps) == base {
+		t.Error("MapperOpts.RefineSteps does not perturb the fingerprint")
+	}
+}

@@ -1,161 +1,38 @@
 package core
 
 import (
-	"fmt"
-	"strings"
-
 	"mesa/internal/accel"
+	"mesa/internal/mapping"
 )
 
-// ImapState is a state of the instruction-mapping state machine (Figure 8).
-// The FSM processes one LDFG entry at a time: read the instruction, generate
-// the candidate matrix around the higher-latency predecessor, filter it by
-// F_free ⊙ F_op, reduce the latency matrix to its argmin, and write the
-// placement into the SDFG.
-type ImapState uint8
+// The instruction-mapping FSM model (Figure 8) moved to internal/mapping
+// alongside the greedy mapper whose decisions it replays.
+
+// ImapState is a state of the instruction-mapping state machine.
+type ImapState = mapping.ImapState
 
 // FSM states, in per-instruction order.
 const (
-	ImapIdle ImapState = iota
-	ImapRead
-	ImapCandidates
-	ImapFilter
-	ImapReduce
-	ImapWrite
-	ImapDone
+	ImapIdle       = mapping.ImapIdle
+	ImapRead       = mapping.ImapRead
+	ImapCandidates = mapping.ImapCandidates
+	ImapFilter     = mapping.ImapFilter
+	ImapReduce     = mapping.ImapReduce
+	ImapWrite      = mapping.ImapWrite
+	ImapDone       = mapping.ImapDone
 )
-
-var imapStateNames = [...]string{
-	ImapIdle: "idle", ImapRead: "read", ImapCandidates: "cand",
-	ImapFilter: "filter", ImapReduce: "reduce", ImapWrite: "write",
-	ImapDone: "done",
-}
-
-func (s ImapState) String() string {
-	if int(s) < len(imapStateNames) {
-		return imapStateNames[s]
-	}
-	return fmt.Sprintf("state(%d)", uint8(s))
-}
 
 // ImapStep is one FSM dwell: a state held for Cycles cycles while mapping
 // instruction Node.
-type ImapStep struct {
-	Node   int
-	State  ImapState
-	Cycles int
-}
+type ImapStep = mapping.ImapStep
 
 // ImapTrace is the cycle-by-cycle activity of the imap FSM for one region —
 // the data behind Figure 8's timing diagram.
-type ImapTrace struct {
-	Steps       []ImapStep
-	TotalCycles int
-}
+type ImapTrace = mapping.ImapTrace
 
 // SimulateImapFSM replays the mapping of an LDFG as the hardware state
-// machine would execute it, using the actual per-instruction candidate
-// counts the mapper visited. Every state is constant-duration except the
-// reduction, whose depth is the log of the candidate-matrix population (the
-// argmin reduction tree).
-//
-// Invariant (tested): the trace's total equals EstimateConfigCost's
-// InstrMap component — the formula and the machine agree cycle-for-cycle.
+// machine would execute it (always the greedy pass; see
+// mapping.SimulateImapFSM).
 func SimulateImapFSM(l *LDFG, be *accel.Config, opts MapperOptions) (*ImapTrace, *SDFG, error) {
-	mapper := NewMapper(opts)
-	sdfg, stats, err := mapper.Map(l, be)
-	if err != nil {
-		return nil, nil, err
-	}
-
-	// Re-derive per-node candidate counts by replaying placement decisions:
-	// the mapper records only totals, so walk nodes in order and recompute
-	// each window against the evolving occupancy. To avoid duplicating the
-	// mapper, rerun it with a per-node probe.
-	perNode, err := mapper.candidateCounts(l, be)
-	if err != nil {
-		return nil, nil, err
-	}
-
-	tr := &ImapTrace{}
-	add := func(node int, st ImapState, cycles int) {
-		tr.Steps = append(tr.Steps, ImapStep{Node: node, State: st, Cycles: cycles})
-		tr.TotalCycles += cycles
-	}
-	for i, cand := range perNode {
-		add(i, ImapRead, 1)
-		add(i, ImapCandidates, 1)
-		add(i, ImapFilter, 1)
-		add(i, ImapReduce, reductionDepth(cand))
-		add(i, ImapWrite, 1)
-	}
-
-	// Cross-check against the aggregate statistics.
-	if got := sumReduce(tr); got != stats.ReductionCycles {
-		return nil, nil, fmt.Errorf("core: FSM reduction cycles %d != mapper stats %d", got, stats.ReductionCycles)
-	}
-	return tr, sdfg, nil
-}
-
-func sumReduce(tr *ImapTrace) int {
-	n := 0
-	for _, s := range tr.Steps {
-		if s.State == ImapReduce {
-			n += s.Cycles
-		}
-	}
-	return n
-}
-
-// candidateCounts reruns the mapping, recording the candidate-matrix
-// population per node (the variable input to the reduce stage).
-func (m *Mapper) candidateCounts(l *LDFG, be *accel.Config) ([]int, error) {
-	probe := NewMapper(m.opts)
-	probe.probe = make([]int, 0, l.Graph.Len())
-	if _, _, err := probe.Map(l, be); err != nil {
-		return nil, err
-	}
-	return probe.probe, nil
-}
-
-// RenderTimingDiagram renders the FSM trace in the style of Figure 8: one
-// row per instruction, one column per cycle, letters naming the active
-// state (r=read, c=candidates, f=filter, R=reduce, w=write).
-func (tr *ImapTrace) RenderTimingDiagram(maxNodes int) string {
-	letters := map[ImapState]byte{
-		ImapRead: 'r', ImapCandidates: 'c', ImapFilter: 'f',
-		ImapReduce: 'R', ImapWrite: 'w',
-	}
-	var b strings.Builder
-	cycle := 0
-	row := -1
-	var line []byte
-	flush := func() {
-		if row >= 0 && row < maxNodes {
-			fmt.Fprintf(&b, "i%-3d %s\n", row, line)
-		}
-	}
-	for _, st := range tr.Steps {
-		if st.Node != row {
-			flush()
-			row = st.Node
-			line = append([]byte{}, bytesRepeat(' ', cycle)...)
-		}
-		line = append(line, bytesRepeat(letters[st.State], st.Cycles)...)
-		cycle += st.Cycles
-	}
-	flush()
-	if tr.Steps != nil && tr.Steps[len(tr.Steps)-1].Node >= maxNodes {
-		fmt.Fprintf(&b, "... (%d more instructions)\n", tr.Steps[len(tr.Steps)-1].Node+1-maxNodes)
-	}
-	fmt.Fprintf(&b, "total: %d cycles\n", tr.TotalCycles)
-	return b.String()
-}
-
-func bytesRepeat(c byte, n int) []byte {
-	out := make([]byte, n)
-	for i := range out {
-		out[i] = c
-	}
-	return out
+	return mapping.SimulateImapFSM(l, be, opts)
 }

@@ -5,6 +5,7 @@ import (
 
 	"mesa/internal/dfg"
 	"mesa/internal/isa"
+	"mesa/internal/mapping"
 	"mesa/internal/mem"
 )
 
@@ -14,23 +15,10 @@ import (
 type OpLatencyFunc func(in isa.Inst) float64
 
 // LDFG is the Logical Dataflow Graph: the DFG stored in program order
-// (analogous to a reorder buffer), produced by task T1 of the paper. It
-// carries the region's loop-control information alongside the graph.
-type LDFG struct {
-	Graph *dfg.Graph
-
-	// LoopBranch is the node of the loop-closing backward branch, or
-	// dfg.None when the region has none (straight-line region).
-	LoopBranch dfg.NodeID
-
-	// Inductions lists nodes of the form rd = rd + imm where rd is live-in:
-	// the loop induction updates, used for iteration-count estimation and
-	// next-iteration prefetching (§4.2).
-	Inductions []dfg.NodeID
-
-	// Forwarded counts loads satisfied by static store-to-load forwarding.
-	Forwarded int
-}
+// (analogous to a reorder buffer), produced by task T1 of the paper. The
+// type lives in internal/mapping with the placement machinery that consumes
+// it; construction (renaming, shadows, forwarding) stays here.
+type LDFG = mapping.LDFG
 
 type storeRecord struct {
 	node     dfg.NodeID

@@ -5,6 +5,7 @@ import (
 
 	"mesa/internal/accel"
 	"mesa/internal/dfg"
+	"mesa/internal/mapping"
 	"mesa/internal/noc"
 )
 
@@ -61,7 +62,7 @@ func TestMapperInvariantsOnRandomGraphs(t *testing.T) {
 			if !be.InBounds(p) {
 				t.Fatalf("seed %d: compute node %d off-grid at %v", seed, i, p)
 			}
-			if !be.Supports(p, classOf(n)) {
+			if !be.Supports(p, mapping.ClassOf(n)) {
 				t.Fatalf("seed %d: node %d (%v) violates F_op at %v", seed, i, n.Inst.Op, p)
 			}
 		}

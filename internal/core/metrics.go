@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"mesa/internal/accel"
 	"mesa/internal/obs"
 )
@@ -26,18 +28,58 @@ func (r *Report) AddMetrics(reg *obs.Registry) {
 	var activity accel.Activity
 	var overhead float64
 	var reconfigs, tiles int
+	mapper := map[string]*MapStats{}
 	for _, rr := range r.Regions {
 		counters.AddScalars(rr.Counters)
 		activity = addActivity(activity, rr.Activity)
 		overhead += rr.OverheadCycles
 		reconfigs += rr.Reconfigs
 		tiles += rr.Tiles
+		if st := rr.Stats; st != nil && st.Nodes > 0 {
+			name := st.Strategy
+			if name == "" {
+				name = "greedy" // direct Mapper use predates the registry
+			}
+			agg := mapper[name]
+			if agg == nil {
+				agg = &MapStats{}
+				mapper[name] = agg
+			}
+			agg.Nodes += st.Nodes
+			agg.PEPlacements += st.PEPlacements
+			agg.LSUPlacements += st.LSUPlacements
+			agg.BusFallbacks += st.BusFallbacks
+			agg.FullSearches += st.FullSearches
+			agg.CandidatesScanned += st.CandidatesScanned
+			agg.ReductionCycles += st.ReductionCycles
+			agg.RefineSteps += st.RefineSteps
+			agg.RefineAccepted += st.RefineAccepted
+		}
 	}
 	reg.Add("regions",
 		obs.M("overhead_cycles", overhead),
 		obs.M("reconfigurations", float64(reconfigs)),
 		obs.M("tiles", float64(tiles)),
 	)
+	names := make([]string, 0, len(mapper))
+	for name := range mapper {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := mapper[name]
+		reg.Add("mapper."+name,
+			obs.M("nodes", float64(st.Nodes)),
+			obs.M("pe_placements", float64(st.PEPlacements)),
+			obs.M("lsu_placements", float64(st.LSUPlacements)),
+			obs.M("bus_fallbacks", float64(st.BusFallbacks)),
+			obs.M("full_searches", float64(st.FullSearches)),
+			obs.M("candidates_scanned", float64(st.CandidatesScanned)),
+			obs.M("reduction_cycles", float64(st.ReductionCycles)),
+			obs.M("refine_steps", float64(st.RefineSteps)),
+			obs.M("refine_accepted", float64(st.RefineAccepted)),
+		)
+	}
 	reg.Add("accel.counters", counters.Metrics()...)
 	reg.Add("accel.activity", activity.Metrics()...)
 }

@@ -1,294 +1,23 @@
 package core
 
-import (
-	"fmt"
-	"strings"
+import "mesa/internal/mapping"
 
-	"mesa/internal/accel"
-	"mesa/internal/dfg"
-	"mesa/internal/isa"
-	"mesa/internal/noc"
-)
+// The SDFG (the Spatial Dataflow Graph and MESA's internal architecture
+// model), its coordinate sentinels, and the placement-derived latency model
+// moved to internal/mapping with the rest of the placement machinery.
+
+// SDFG is the Spatial Dataflow Graph (task T2's output).
+type SDFG = mapping.SDFG
 
 // BusCoord is the pseudo-position of instructions that failed spatial
 // routing and fell back to the secondary bus (§3.3).
-var BusCoord = noc.Coord{Row: -128, Col: -128}
+var BusCoord = mapping.BusCoord
 
-// unplacedCoord marks a node not yet assigned by the mapper.
-var unplacedCoord = noc.Coord{Row: -1 << 20, Col: -1 << 20}
-
-// CtrlLat is the latency of enable-signal delivery over the accelerator's
-// control network (branch predication).
-const CtrlLat = 1
-
-// LiveInLat is the latency for a live-in register value to reach a PE's
-// input buffer at iteration start (values are written during configuration
-// or carried between iterations).
-const LiveInLat = 1
-
-// SDFG is the Spatial Dataflow Graph: the same graph as the LDFG, indexed by
-// 2D position (task T2's output). It binds each node to a virtual coordinate
-// on the backend and serves as MESA's internal architecture model: the
-// performance model evaluated over it predicts accelerator behaviour.
-type SDFG struct {
-	Backend *accel.Config
-	LDFG    *LDFG
-
-	// Pos maps each node to its virtual coordinate; memory nodes sit on the
-	// edge columns, routed-out nodes on BusCoord.
-	Pos []noc.Coord
-
-	// Completion holds the mapper's latency estimate L_i per node at
-	// placement time (the model that drove the placement decisions).
-	Completion []float64
-
-	// shareLimit is the maximum instructions per position (1 = pure spatial
-	// mapping as in the paper; >1 enables the time-multiplexing extension).
-	shareLimit int
-
-	grid map[noc.Coord][]dfg.NodeID
-}
-
-func newSDFG(l *LDFG, be *accel.Config, shareLimit int) *SDFG {
-	if shareLimit < 1 {
-		shareLimit = 1
-	}
-	n := l.Graph.Len()
-	s := &SDFG{
-		Backend: be, LDFG: l,
-		Pos:        make([]noc.Coord, n),
-		Completion: make([]float64, n),
-		shareLimit: shareLimit,
-		grid:       make(map[noc.Coord][]dfg.NodeID, n),
-	}
-	for i := range s.Pos {
-		s.Pos[i] = unplacedCoord
-	}
-	return s
-}
-
-// Placed reports whether node id has a position (grid, edge, or bus).
-func (s *SDFG) Placed(id dfg.NodeID) bool { return s.Pos[id] != unplacedCoord }
-
-// OnBus reports whether node id fell back to the secondary bus.
-func (s *SDFG) OnBus(id dfg.NodeID) bool { return s.Pos[id] == BusCoord }
-
-// At returns the first node occupying a coordinate, if any.
-func (s *SDFG) At(c noc.Coord) (dfg.NodeID, bool) {
-	ids := s.grid[c]
-	if len(ids) == 0 {
-		return dfg.None, false
-	}
-	return ids[0], true
-}
-
-// Occupants returns every node assigned to a coordinate (more than one only
-// with the time-multiplexing extension).
-func (s *SDFG) Occupants(c noc.Coord) []dfg.NodeID { return s.grid[c] }
-
-// free reports whether the coordinate can accept another instruction
-// (F_free; with time-sharing, up to shareLimit occupants).
-func (s *SDFG) free(c noc.Coord) bool {
-	return len(s.grid[c]) < s.shareLimit
-}
-
-func (s *SDFG) place(id dfg.NodeID, c noc.Coord) {
-	s.Pos[id] = c
-	if c != BusCoord {
-		s.grid[c] = append(s.grid[c], id)
-	}
-}
-
-// EdgeLatency is the placement-derived transfer-latency model used to
-// evaluate the SDFG (Equation 2's L_(i,j) terms). Bus-resident endpoints pay
-// the fallback bus latency; pure control edges ride the control network.
-func (s *SDFG) EdgeLatency(from, to dfg.NodeID) float64 {
-	n := s.LDFG.Graph.Node(to)
-	isData := n.PredDep == from || n.MemDep == from
-	for k := 0; k < 3 && !isData; k++ {
-		isData = n.Src[k] == from
-	}
-	if !isData && n.CtrlDep == from {
-		return CtrlLat
-	}
-	if s.OnBus(from) || s.OnBus(to) {
-		return float64(s.Backend.BusLat)
-	}
-	if !s.Placed(from) || !s.Placed(to) {
-		return 0
-	}
-	return float64(s.Backend.Interconnect.Latency(s.Pos[from], s.Pos[to]))
-}
-
-// Evaluate runs the performance model over the mapped graph, honoring any
-// measured edge latencies recorded on the graph.
-func (s *SDFG) Evaluate() *dfg.Eval {
-	return s.LDFG.Graph.Evaluate(s.EdgeLatency)
-}
-
-// PredictedII estimates the steady-state initiation interval of this
-// placement under pipelining with the given tile count, from the model
-// alone: the loop-carried recurrence, the memory-port bound, and the NoC
-// bandwidth implied by which edges ride the shared network. The iterative
-// optimizer uses it to judge whether a candidate remapping would improve
-// throughput (for parallel loops) rather than just iteration latency.
-func (s *SDFG) PredictedII(tiles int) float64 {
-	if tiles < 1 {
-		tiles = 1
-	}
-	g := s.LDFG.Graph
-	be := s.Backend
-
-	liveIn := make(map[isa.Reg]bool)
-	for i := range g.Nodes {
-		n := &g.Nodes[i]
-		for k := 0; k < 3; k++ {
-			if n.Src[k] == dfg.None && n.LiveIn[k] != isa.RegNone {
-				liveIn[n.LiveIn[k]] = true
-			}
-		}
-		if n.PredLiveIn != isa.RegNone {
-			liveIn[n.PredLiveIn] = true
-		}
-	}
-	rec := 1.0
-	for r, id := range g.LiveOut {
-		if liveIn[r] {
-			if l := g.Node(id).OpLat + 1; l > rec {
-				rec = l
-			}
-		}
-	}
-	ii := rec / float64(tiles)
-
-	if m := float64(len(s.LDFG.MemNodes())) / float64(be.MemPorts); m > ii {
-		ii = m
-	}
-
-	nocN := 0
-	hr, isHalfRing := be.Interconnect.(noc.HalfRing)
-	var scratch []dfg.Edge
-	for i := range g.Nodes {
-		scratch = g.Nodes[i].Parents(scratch[:0])
-		for _, e := range scratch {
-			if e.Kind == dfg.DepCtrl {
-				continue
-			}
-			switch {
-			case s.OnBus(e.From) || s.OnBus(e.To):
-				nocN++
-			case isHalfRing && hr.UsesNoC(s.Pos[e.From], s.Pos[e.To]):
-				nocN++
-			}
-		}
-	}
-	lanes := be.NoCLanesPerRow
-	if lanes < 1 {
-		lanes = 1
-	}
-	if n := float64(nocN) / float64(lanes*be.Rows); n > ii {
-		ii = n
-	}
-
-	if floor := 1.0 / float64(tiles); ii < floor {
-		ii = floor
-	}
-	return ii
-}
-
-// DiffersFrom reports whether any node is placed differently than in o.
-func (s *SDFG) DiffersFrom(o *SDFG) bool {
-	if o == nil || len(s.Pos) != len(o.Pos) {
-		return true
-	}
-	for i := range s.Pos {
-		if s.Pos[i] != o.Pos[i] {
-			return true
-		}
-	}
-	return false
-}
-
-// Utilization reports the fraction of PEs occupied by compute nodes.
-func (s *SDFG) Utilization() float64 {
-	used := 0
-	for c := range s.grid {
-		if s.Backend.InBounds(c) {
-			used++
-		}
-	}
-	return float64(used) / float64(s.Backend.NumPEs())
-}
-
-// String renders the grid occupancy for debugging and the mesamap tool.
-func (s *SDFG) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s grid %dx%d, %d nodes\n", s.Backend.Name, s.Backend.Rows, s.Backend.Cols, len(s.Pos))
-	for r := 0; r < s.Backend.Rows; r++ {
-		// Left edge (load/store entries).
-		writeCell := func(c noc.Coord) {
-			switch ids := s.grid[c]; len(ids) {
-			case 0:
-				b.WriteString("   .")
-			case 1:
-				fmt.Fprintf(&b, "%4s", fmt.Sprintf("i%d", ids[0]))
-			default:
-				fmt.Fprintf(&b, "%4s", fmt.Sprintf("i%d+", ids[0]))
-			}
-		}
-		writeCell(noc.Coord{Row: r, Col: -1})
-		b.WriteString(" |")
-		for c := 0; c < s.Backend.Cols; c++ {
-			writeCell(noc.Coord{Row: r, Col: c})
-		}
-		b.WriteString(" |")
-		writeCell(noc.Coord{Row: r, Col: s.Backend.Cols})
-		b.WriteByte('\n')
-	}
-	var bus []string
-	for id := range s.Pos {
-		if s.OnBus(dfg.NodeID(id)) {
-			bus = append(bus, fmt.Sprintf("i%d", id))
-		}
-	}
-	if len(bus) > 0 {
-		fmt.Fprintf(&b, "bus: %s\n", strings.Join(bus, " "))
-	}
-	return b.String()
-}
-
-// MemNodes returns the graph's memory nodes (loads/stores needing LSU
-// entries) in program order, excluding statically forwarded loads.
-func (l *LDFG) MemNodes() []dfg.NodeID {
-	var out []dfg.NodeID
-	for i := range l.Graph.Nodes {
-		n := &l.Graph.Nodes[i]
-		if (n.Inst.IsLoad() || n.Inst.IsStore()) && !n.Fwd {
-			out = append(out, n.ID)
-		}
-	}
-	return out
-}
-
-// ComputeNodes returns nodes that need a PE: everything except LSU-resident
-// memory nodes. Forwarded loads behave as move PEs.
-func (l *LDFG) ComputeNodes() []dfg.NodeID {
-	var out []dfg.NodeID
-	for i := range l.Graph.Nodes {
-		n := &l.Graph.Nodes[i]
-		if (n.Inst.IsLoad() || n.Inst.IsStore()) && !n.Fwd {
-			continue
-		}
-		out = append(out, dfg.NodeID(i))
-	}
-	return out
-}
-
-// classOf returns the placement class of a node: forwarded loads occupy
-// ordinary PEs as pass-through moves.
-func classOf(n *dfg.Node) isa.Class {
-	if n.Fwd {
-		return isa.ClassALU
-	}
-	return n.Inst.Class()
-}
+const (
+	// CtrlLat is the latency of enable-signal delivery over the control
+	// network (branch predication).
+	CtrlLat = mapping.CtrlLat
+	// LiveInLat is the latency for a live-in register value to reach a PE's
+	// input buffer at iteration start.
+	LiveInLat = mapping.LiveInLat
+)

@@ -38,7 +38,7 @@ func TestTimeShareMapsSRADOnM64(t *testing.T) {
 
 	// Extension: 2-way time sharing.
 	opts := DefaultOptions(be)
-	opts.Mapper.TimeShare = 2
+	opts.MapperOpts.TimeShare = 2
 	opts.Detector.MaxInsts = 0 // let NewController derive it with the extension
 	opts.Detector.ParallelLoops = map[uint32]bool{loopStart: true}
 	ctl := NewController(opts)
@@ -96,7 +96,7 @@ func TestTimeShareCorrectDifferential(t *testing.T) {
 	be.FPSlice = 4
 	be.MemPorts = 2
 	opts := DefaultOptions(be)
-	opts.Mapper.TimeShare = 4
+	opts.MapperOpts.TimeShare = 4
 	opts.Detector.MaxInsts = 0
 	ctl := NewController(opts)
 	m := k.NewMemory(7)
@@ -131,7 +131,7 @@ func TestTimeShareSlowerThanSpatial(t *testing.T) {
 		be.Rows, be.Cols = rows, cols
 		be.FPSlice = 4
 		opts := DefaultOptions(be)
-		opts.Mapper.TimeShare = share
+		opts.MapperOpts.TimeShare = share
 		opts.Detector.MaxInsts = 0
 		opts.Detector.ParallelLoops = map[uint32]bool{loopStart: true}
 		ctl := NewController(opts)

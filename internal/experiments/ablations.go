@@ -402,7 +402,7 @@ func TimeShareAblation() (*TimeShareAblationResult, error) {
 
 	run := func(be *accel.Config, share int) (float64, bool, error) {
 		opts := core.DefaultOptions(be)
-		opts.Mapper.TimeShare = share
+		opts.MapperOpts.TimeShare = share
 		opts.Detector.MaxInsts = 0
 		opts.Detector.ParallelLoops = map[uint32]bool{loopStart: true}
 		ctl := core.NewController(opts)

@@ -146,6 +146,32 @@ func collectBenchKernels(ks []*kernels.Kernel) (*BenchSnapshot, error) {
 	higher("fig11.geomean_energy_eff_m128", geomean(ee128))
 	higher("fig11.geomean_energy_eff_m512", geomean(ee512))
 
+	// Mapper-strategy ablation metrics: per-kernel analytic II and measured
+	// per-iteration cost for every placement strategy, plus the count of
+	// kernels a refinement strategy strictly improves. Shares the memoized
+	// mappersRow simulations with the rendered `mappers` experiment.
+	mapRows, err := runAll(len(ks), func(i int) (MappersRow, error) {
+		return mappersRow(ks[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	improved := 0
+	for _, row := range mapRows {
+		if !row.OK {
+			continue
+		}
+		if row.Improved {
+			improved++
+		}
+		for _, c := range row.Cells {
+			p := "mappers." + row.Kernel + "." + MapperTag(c.Strategy)
+			lower(p+".predicted_ii", c.PredictedII)
+			lower(p+".measured_iter", c.MeasuredIter)
+		}
+	}
+	higher("mappers.improved_kernels", float64(improved))
+
 	sort.Slice(s.Metrics, func(i, j int) bool { return s.Metrics[i].Name < s.Metrics[j].Name })
 	return s, nil
 }

@@ -14,6 +14,7 @@ import (
 	"mesa/internal/cpu"
 	"mesa/internal/energy"
 	"mesa/internal/kernels"
+	"mesa/internal/mapping"
 	"mesa/internal/mem"
 )
 
@@ -123,6 +124,10 @@ type MESARun struct {
 type MESAOptions struct {
 	DisableOptimization bool // no iterative reconfiguration rounds
 	DisableLoopOpts     bool // no tiling, no pipelining (Figure 12's "no opt")
+
+	// Mapper overrides the placement strategy for this run; nil uses the
+	// suite-wide default (SetMapperStrategy).
+	Mapper mapping.Strategy
 }
 
 // RunMESA executes a kernel under a MESA controller on the given backend.
@@ -150,6 +155,13 @@ func RunMESA(k *kernels.Kernel, be *accel.Config, cpuPerIter float64, o MESAOpti
 	if o.DisableLoopOpts {
 		opts.EnableTiling = false
 		opts.EnablePipelining = false
+	}
+	// The strategy participates in opts.Fingerprint below, so runs under
+	// different mappers never share a memo entry.
+	if o.Mapper != nil {
+		opts.Mapper = o.Mapper
+	} else {
+		opts.Mapper = MapperStrategy()
 	}
 	v, err := memoDo("mesa", k, opts.Fingerprint, func() (any, error) {
 		ctl := core.NewController(opts)

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"mesa/internal/accel"
+	"mesa/internal/core"
+	"mesa/internal/kernels"
+	"mesa/internal/mapping"
+	"mesa/internal/mem"
+)
+
+// The suite-wide default placement strategy. mesabench/mesasim set it once
+// at startup from the -mapper flag; every RunMESA call without an explicit
+// MESAOptions.Mapper override picks it up.
+var (
+	mapperMu      sync.Mutex
+	mapperDefault mapping.Strategy = mapping.Default()
+)
+
+// SetMapperStrategy installs the default placement strategy for the whole
+// experiment suite. A nil strategy restores the built-in default.
+func SetMapperStrategy(s mapping.Strategy) {
+	mapperMu.Lock()
+	defer mapperMu.Unlock()
+	if s == nil {
+		s = mapping.Default()
+	}
+	mapperDefault = s
+}
+
+// MapperStrategy returns the suite-wide default placement strategy.
+func MapperStrategy() mapping.Strategy {
+	mapperMu.Lock()
+	defer mapperMu.Unlock()
+	return mapperDefault
+}
+
+// mapperMeasureIters bounds the measured engine run of the mappers ablation;
+// 512 iterations is enough for the per-iteration average to converge.
+const mapperMeasureIters = 512
+
+// mapperAblationOrder fixes the strategy order of the ablation rows: the
+// greedy seed first (the two refinement strategies are compared against it),
+// then annealing, then attribution-fed congestion-aware re-placement.
+var mapperAblationOrder = []string{"greedy", "greedy+anneal", "congestion"}
+
+// MapperTag returns the metric-safe short tag for a strategy name
+// ("greedy+anneal" contains '+', which stays out of metric keys).
+func MapperTag(name string) string {
+	switch name {
+	case "greedy+anneal":
+		return "anneal"
+	default:
+		return name
+	}
+}
+
+// MapperCell is one strategy's outcome on one kernel.
+type MapperCell struct {
+	Strategy       string
+	PredictedII    float64 // analytic II bound of the placement (1 tile)
+	ModeledIter    float64 // mapper's modeled iteration latency
+	MeasuredIter   float64 // measured cycles/iteration on the engine
+	BusFallbacks   int
+	RefineAccepted int
+}
+
+// MappersRow compares every registered strategy on one kernel's hot loop.
+type MappersRow struct {
+	Kernel   string
+	OK       bool // hot loop maps under the default options
+	Cells    []MapperCell
+	Improved bool // a refinement strategy strictly beats the greedy seed
+}
+
+// MappersResult is the mapper-strategy ablation across the kernel suite.
+type MappersResult struct {
+	Rows            []MappersRow
+	ImprovedKernels int
+}
+
+// Mappers runs every kernel's hot loop through all three placement
+// strategies on M-128 and measures each placement on the accelerator
+// engine. The congestion strategy receives the attribution counters
+// measured on the greedy placement — the same measure→re-optimize feedback
+// the controller applies during iterative optimization.
+func Mappers() (*MappersResult, error) {
+	ks := kernels.All()
+	rows, err := runAll(len(ks), func(i int) (MappersRow, error) {
+		return mappersRow(ks[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &MappersResult{Rows: rows}
+	for _, r := range rows {
+		if r.Improved {
+			res.ImprovedKernels++
+		}
+	}
+	return res, nil
+}
+
+// mappersRow memoizes one kernel's three-strategy comparison (CollectBench
+// and the rendered ablation share the simulations).
+func mappersRow(k *kernels.Kernel) (MappersRow, error) {
+	v, err := memoDo("mappers", k, func(w io.Writer) {
+		accel.M128().Fingerprint(w)
+		fmt.Fprintf(w, "|mappers|iters%d|", mapperMeasureIters)
+		for _, name := range mapperAblationOrder {
+			io.WriteString(w, name+"|")
+		}
+	}, func() (any, error) {
+		row, err := mappersRowUncached(k)
+		if err != nil {
+			return nil, err
+		}
+		return &row, nil
+	})
+	if err != nil {
+		return MappersRow{}, err
+	}
+	return *(v.(*MappersRow)), nil
+}
+
+func mappersRowUncached(k *kernels.Kernel) (MappersRow, error) {
+	be := accel.M128()
+	prog, loopStart, err := k.Program()
+	if err != nil {
+		return MappersRow{}, fmt.Errorf("%s: %w", k.Name, err)
+	}
+	body, err := regionFor(k)
+	if err != nil {
+		return MappersRow{}, err
+	}
+	l, err := core.BuildLDFG(body, be.EstimateLat)
+	if err != nil {
+		return MappersRow{}, fmt.Errorf("%s: %w", k.Name, err)
+	}
+
+	// measure runs one placement serially on the engine from fresh seeded
+	// state and returns the converged per-iteration cost plus the
+	// bottleneck-attribution report of the run.
+	measure := func(s *core.SDFG) (float64, *accel.Attribution, error) {
+		memory := k.NewMemory(Seed)
+		hier := mem.MustHierarchy(mem.DefaultHierarchy())
+		machine, err := runToLoop(prog, memory, loopStart)
+		if err != nil {
+			return 0, nil, err
+		}
+		engine, err := accel.NewEngine(be, l.Graph, s.Pos, l.LoopBranch, memory, hier)
+		if err != nil {
+			return 0, nil, err
+		}
+		res, err := engine.RunLoop(&machine.Regs, accel.LoopOptions{MaxIterations: mapperMeasureIters})
+		if err != nil {
+			return 0, nil, err
+		}
+		return res.AvgIterCycles, res.Attrib, nil
+	}
+
+	row := MappersRow{Kernel: k.Name}
+	var greedyAttrib *accel.Attribution
+	for _, name := range mapperAblationOrder {
+		strat, err := mapping.ByName(name)
+		if err != nil {
+			return MappersRow{}, err
+		}
+		o := core.DefaultMapperOptions()
+		if name == "congestion" {
+			// Feed the attribution measured on the greedy placement — this
+			// is what distinguishes the strategy from its greedy fallback.
+			o.Attrib = greedyAttrib
+		}
+		s, stats, err := strat.Map(l, be, o)
+		if err != nil {
+			if name == mapperAblationOrder[0] {
+				return row, nil // kernel does not map; report OK=false
+			}
+			return MappersRow{}, fmt.Errorf("%s/%s: %w", k.Name, name, err)
+		}
+		avg, attrib, err := measure(s)
+		if err != nil {
+			return MappersRow{}, fmt.Errorf("%s/%s: %w", k.Name, name, err)
+		}
+		if name == mapperAblationOrder[0] {
+			greedyAttrib = attrib
+		}
+		row.Cells = append(row.Cells, MapperCell{
+			Strategy:       name,
+			PredictedII:    s.PredictedII(1),
+			ModeledIter:    s.Evaluate().Total,
+			MeasuredIter:   avg,
+			BusFallbacks:   stats.BusFallbacks,
+			RefineAccepted: stats.RefineAccepted,
+		})
+	}
+	row.OK = true
+
+	// A refinement strategy "improves" a kernel when it strictly lowers the
+	// analytic II bound or the measured per-iteration cost vs the greedy
+	// seed (ties are not improvements).
+	const eps = 1e-9
+	g := row.Cells[0]
+	for _, c := range row.Cells[1:] {
+		if c.PredictedII < g.PredictedII-eps || c.MeasuredIter < g.MeasuredIter-eps {
+			row.Improved = true
+		}
+	}
+	return row, nil
+}
+
+// Render formats the ablation as a table.
+func (r *MappersResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Mapper strategy ablation: greedy seed vs refinement (M-128, serial, " )
+	fmt.Fprintf(&b, "%d measured iterations)\n", mapperMeasureIters)
+	b.WriteString("congestion re-places with the attribution counters measured on the greedy placement\n")
+	fmt.Fprintf(&b, "%-12s %-14s %8s %11s %13s %5s %9s\n",
+		"kernel", "strategy", "pred II", "model c/i", "measured c/i", "bus", "accepted")
+	for _, row := range r.Rows {
+		if !row.OK {
+			fmt.Fprintf(&b, "%-12s does not map under the default window\n", row.Kernel)
+			continue
+		}
+		name := row.Kernel
+		if row.Improved {
+			name += "*"
+		}
+		for i, c := range row.Cells {
+			label := name
+			if i > 0 {
+				label = ""
+			}
+			fmt.Fprintf(&b, "%-12s %-14s %8.2f %11.1f %13.2f %5d %9d\n",
+				label, c.Strategy, c.PredictedII, c.ModeledIter, c.MeasuredIter,
+				c.BusFallbacks, c.RefineAccepted)
+		}
+	}
+	fmt.Fprintf(&b, "\n* kernels where a refinement strategy strictly improves the greedy seed: %d/%d\n",
+		r.ImprovedKernels, len(r.Rows))
+	return b.String()
+}

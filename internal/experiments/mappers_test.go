@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mesa/internal/accel"
+	"mesa/internal/kernels"
+	"mesa/internal/mapping"
+	"mesa/internal/obs"
+)
+
+// TestMappersAblationImproves is the acceptance gate of the strategy
+// extension: a refinement strategy (annealing or congestion-aware
+// re-placement) must strictly improve the analytic II bound or the measured
+// per-iteration cost over the greedy seed on at least 3 kernels.
+func TestMappersAblationImproves(t *testing.T) {
+	r, err := Mappers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(kernels.All()) {
+		t.Fatalf("ablation covers %d kernels, suite has %d", len(r.Rows), len(kernels.All()))
+	}
+	for _, row := range r.Rows {
+		if !row.OK {
+			continue
+		}
+		if len(row.Cells) != 3 {
+			t.Fatalf("%s: %d strategy cells, want 3", row.Kernel, len(row.Cells))
+		}
+		for _, c := range row.Cells {
+			if c.PredictedII <= 0 || c.MeasuredIter <= 0 {
+				t.Errorf("%s/%s: non-positive measurement %+v", row.Kernel, c.Strategy, c)
+			}
+		}
+	}
+	if r.ImprovedKernels < 3 {
+		t.Errorf("refinement strategies improve only %d kernels, want >= 3:\n%s",
+			r.ImprovedKernels, r.Render())
+	}
+	if !strings.Contains(r.Render(), "greedy+anneal") {
+		t.Error("rendered table does not show the greedy+anneal column")
+	}
+}
+
+// TestMappersDeterministic: the ablation is byte-identical between workers=1
+// and workers=4 (the suite-wide -parallel guarantee).
+func TestMappersDeterministic(t *testing.T) {
+	runTwice(t, "mappers", Mappers,
+		func(r *MappersResult) string { return r.Render() })
+}
+
+// TestMapperStrategyMemoDifferential is the fingerprint acceptance test:
+// warm the simulation cache with greedy runs, then run the same kernel under
+// the congestion strategy — the cache must miss (the strategy name keys
+// core.Options.Fingerprint), not serve a stale greedy result.
+func TestMapperStrategyMemoDifferential(t *testing.T) {
+	ResetSimMemo()
+	defer ResetSimMemo()
+
+	k, err := kernels.ByName("nn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := accel.M128()
+
+	counters := func() (hits, misses float64) {
+		for _, m := range SimMemoMetrics() {
+			switch m.Name {
+			case "sim_cache_hits":
+				hits = m.Value
+			case "sim_cache_misses":
+				misses = m.Value
+			}
+		}
+		return
+	}
+
+	// Warm: greedy (the default) populates the cache.
+	if _, err := RunMESA(k, be, 1, MESAOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	_, warmMisses := counters()
+
+	// Same options again: pure hit, no new entry.
+	if _, err := RunMESA(k, be, 1, MESAOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := counters()
+	if misses != warmMisses {
+		t.Fatalf("repeat greedy run missed the cache (%v -> %v misses)", warmMisses, misses)
+	}
+	if hits == 0 {
+		t.Fatal("repeat greedy run recorded no cache hit")
+	}
+
+	// Different strategy: must miss, not reuse the greedy entry.
+	cong, err := mapping.ByName("congestion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunMESA(k, be, 1, MESAOptions{Mapper: cong}); err != nil {
+		t.Fatal(err)
+	}
+	if _, after := counters(); after <= misses {
+		t.Errorf("congestion run hit the greedy cache entry (misses %v -> %v); Fingerprint does not key on the strategy",
+			misses, after)
+	}
+}
+
+// TestSetMapperStrategy pins the suite-wide default override used by the
+// -mapper flags.
+func TestSetMapperStrategy(t *testing.T) {
+	defer SetMapperStrategy(nil)
+	if got := MapperStrategy().Name(); got != "greedy" {
+		t.Fatalf("default strategy %q, want greedy", got)
+	}
+	anneal, err := mapping.ByName("greedy+anneal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetMapperStrategy(anneal)
+	if got := MapperStrategy().Name(); got != "greedy+anneal" {
+		t.Errorf("after SetMapperStrategy: %q", got)
+	}
+	SetMapperStrategy(nil)
+	if got := MapperStrategy().Name(); got != "greedy" {
+		t.Errorf("SetMapperStrategy(nil) did not restore the default: %q", got)
+	}
+}
+
+// TestMapperMetricsPerStrategy: a controller run reports its placement
+// counters under the strategy's own mapper.<name> metric group.
+func TestMapperMetricsPerStrategy(t *testing.T) {
+	anneal, err := mapping.ByName("greedy+anneal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernels.ByName("nn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := RunMESA(k, accel.M128(), 1, MESAOptions{Mapper: anneal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Qualified {
+		t.Fatal("nn did not qualify")
+	}
+	reg := obs.NewRegistry()
+	run.Report.AddMetrics(reg)
+	var section *obs.Section
+	var names []string
+	for _, s := range reg.Report() {
+		names = append(names, s.Name)
+		if s.Name == "mapper.greedy+anneal" {
+			sec := s
+			section = &sec
+		}
+	}
+	if section == nil {
+		t.Fatalf("no mapper.greedy+anneal metric section; sections: %v", names)
+	}
+	var nodes float64
+	for _, m := range section.Metrics {
+		if m.Name == "nodes" {
+			nodes = m.Value
+		}
+	}
+	if nodes == 0 {
+		t.Error("mapper.greedy+anneal nodes metric is zero")
+	}
+}

@@ -1,0 +1,344 @@
+package mapping
+
+import (
+	"fmt"
+	"math"
+
+	"mesa/internal/accel"
+	"mesa/internal/dfg"
+	"mesa/internal/isa"
+	"mesa/internal/noc"
+)
+
+func init() { Register(greedyStrategy{}) }
+
+// greedyStrategy is the paper's hardware mapper behind the Strategy
+// interface. It is the default and the seed for every refinement strategy.
+type greedyStrategy struct{}
+
+func (greedyStrategy) Name() string { return "greedy" }
+
+func (greedyStrategy) Map(l *LDFG, be *accel.Config, o Options) (*SDFG, *MapStats, error) {
+	s, stats, err := NewMapper(o).Map(l, be)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Strategy = "greedy"
+	return s, stats, nil
+}
+
+// Mapper implements the paper's Algorithm 1: a single-pass, greedy,
+// locally latency-minimizing assignment of LDFG nodes to backend positions.
+type Mapper struct {
+	opts Options
+
+	// penalty, when non-nil, adds a bias to each candidate's score during
+	// selection (the congestion strategy feeds measured hot-spot penalties
+	// through it). It never alters the latency recorded in Completion, and a
+	// nil penalty leaves the pass bit-identical to the paper's mapper.
+	penalty func(noc.Coord) float64
+
+	// probe, when non-nil, records the candidate-matrix population per node
+	// (consumed by the imap FSM simulator).
+	probe []int
+}
+
+// NewMapper returns a Mapper with the given options.
+func NewMapper(opts Options) *Mapper { return &Mapper{opts: opts} }
+
+func (m *Mapper) penaltyAt(c noc.Coord) float64 {
+	if m.penalty == nil {
+		return 0
+	}
+	return m.penalty(c)
+}
+
+// Map converts the LDFG into an SDFG on the backend. Nodes are visited in
+// program order; each is placed at the candidate position minimizing its
+// expected latency L_i = L_op + max(A_s1, A_s2) under the current partial
+// placement, with ties broken toward positions with more free neighbors.
+// Instructions that cannot be routed fall back to the secondary bus.
+func (m *Mapper) Map(l *LDFG, be *accel.Config) (*SDFG, *MapStats, error) {
+	if err := be.Validate(); err != nil {
+		return nil, nil, err
+	}
+	share := m.opts.TimeShare
+	if share < 1 {
+		share = 1
+	}
+	g := l.Graph
+	if cap := share * be.MaxInstructions(); g.Len() > cap {
+		return nil, nil, fmt.Errorf("mapping: region of %d instructions exceeds backend capacity %d", g.Len(), cap)
+	}
+	if n := len(l.MemNodes()); n > share*be.LSUEntries() {
+		return nil, nil, fmt.Errorf("mapping: region needs %d load/store entries, backend has %d", n, share*be.LSUEntries())
+	}
+	if n := len(l.ComputeNodes()); n > share*be.NumPEs() {
+		return nil, nil, fmt.Errorf("mapping: region needs %d PEs, backend has %d", n, share*be.NumPEs())
+	}
+	// F_op capacity: FP instructions can only occupy FP-capable PEs; an
+	// overflow is a structural routing failure (§4.1: a loop passing C1–C3
+	// can still fail during mapping).
+	fpPEs := 0
+	for r := 0; r < be.Rows; r++ {
+		for c := 0; c < be.Cols; c++ {
+			if be.HasFP(noc.Coord{Row: r, Col: c}) {
+				fpPEs++
+			}
+		}
+	}
+	fpNodes := 0
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if !n.Fwd && !n.Inst.IsMem() && n.Inst.Op.IsFP() {
+			fpNodes++
+		}
+	}
+	if fpNodes > share*fpPEs {
+		return nil, nil, fmt.Errorf("mapping: region needs %d FP PEs, backend has %d", fpNodes, share*fpPEs)
+	}
+
+	s := newSDFG(l, be, share)
+	stats := &MapStats{Nodes: g.Len()}
+	var scratch []dfg.Edge
+
+	// seedCursor provides anchors for nodes with no placed parents; it
+	// sweeps rows so independent chains spread across the grid.
+	seedRow := 0
+
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		id := dfg.NodeID(i)
+
+		// Arrival anchor: the placed parent with the highest completion
+		// time — the input that will arrive last dominates L_i, so the
+		// candidate window centers on it (the paper's key observation).
+		anchor := unplacedCoord
+		bestArrival := math.Inf(-1)
+		scratch = n.Parents(scratch[:0])
+		for _, e := range scratch {
+			if e.Kind == dfg.DepCtrl {
+				continue // control edges ride the broadcast network
+			}
+			if !s.Placed(e.From) || s.OnBus(e.From) {
+				continue
+			}
+			if c := s.Completion[e.From]; c > bestArrival {
+				bestArrival = c
+				anchor = s.Pos[e.From]
+			}
+		}
+
+		isMem := (n.Inst.IsLoad() || n.Inst.IsStore()) && !n.Fwd
+		var candidates []noc.Coord
+		if isMem {
+			candidates = m.edgeCandidates(s, anchor)
+		} else {
+			if anchor == unplacedCoord {
+				anchor = noc.Coord{Row: seedRow % be.Rows, Col: 0}
+				seedRow += 2
+			}
+			candidates = m.windowCandidates(s, n, anchor)
+			if len(candidates) == 0 && m.opts.FullSearchFallback {
+				stats.FullSearches++
+				candidates = m.fullCandidates(s, n)
+			}
+		}
+		stats.CandidatesScanned += len(candidates)
+		stats.ReductionCycles += ReductionDepth(len(candidates))
+		if m.probe != nil {
+			m.probe = append(m.probe, len(candidates))
+		}
+
+		if len(candidates) == 0 {
+			s.place(id, BusCoord)
+			stats.BusFallbacks++
+			s.Completion[id] = m.latencyAt(s, n, BusCoord)
+			continue
+		}
+
+		best := candidates[0]
+		bestLat := m.latencyAt(s, n, best)
+		bestScore := bestLat + m.penaltyAt(best)
+		bestFree := m.freeNeighbors(s, best)
+		for _, c := range candidates[1:] {
+			lat := m.latencyAt(s, n, c)
+			score := lat + m.penaltyAt(c)
+			if score < bestScore {
+				best, bestLat, bestScore, bestFree = c, lat, score, m.freeNeighbors(s, c)
+				continue
+			}
+			if score == bestScore && !m.opts.DisableTieBreak {
+				// Tie-break: prefer positions with more free entries in the
+				// local neighborhood (keeps future placements viable).
+				if f := m.freeNeighbors(s, c); f > bestFree {
+					best, bestLat, bestFree = c, lat, f
+				}
+			}
+		}
+		s.place(id, best)
+		s.Completion[id] = bestLat
+		if isMem {
+			stats.LSUPlacements++
+		} else {
+			stats.PEPlacements++
+		}
+	}
+	return s, stats, nil
+}
+
+// latencyAt computes the expected completion time of node n if placed at c:
+// Equation 1 over the already-placed parents.
+func (m *Mapper) latencyAt(s *SDFG, n *dfg.Node, c noc.Coord) float64 {
+	be := s.Backend
+	arrival := 0.0
+	consider := func(p dfg.NodeID, ctrl bool) {
+		if p == dfg.None || !s.Placed(p) {
+			return
+		}
+		var lat float64
+		switch {
+		case ctrl:
+			lat = CtrlLat
+		case s.OnBus(p) || c == BusCoord:
+			lat = float64(be.BusLat)
+		default:
+			lat = float64(be.Interconnect.Latency(s.Pos[p], c))
+		}
+		if a := s.Completion[p] + lat; a > arrival {
+			arrival = a
+		}
+	}
+	for k := 0; k < 3; k++ {
+		consider(n.Src[k], false)
+	}
+	hasLiveIn := false
+	for k := 0; k < 3; k++ {
+		if n.Src[k] == dfg.None && n.LiveIn[k] != isa.RegNone {
+			hasLiveIn = true
+		}
+	}
+	if hasLiveIn && arrival < LiveInLat {
+		arrival = LiveInLat
+	}
+	consider(n.MemDep, false)
+	consider(n.PredDep, false)
+	consider(n.CtrlDep, true)
+	// Node weight: the current model estimate, refined by measured
+	// counters between optimization rounds.
+	return arrival + n.OpLat
+}
+
+// windowCandidates generates the fixed candidate matrix C_i: a
+// WindowRows×WindowCols region centered on the anchor, filtered by F_free
+// and F_op (occupancy and capability masks).
+func (m *Mapper) windowCandidates(s *SDFG, n *dfg.Node, anchor noc.Coord) []noc.Coord {
+	be := s.Backend
+	cls := ClassOf(n)
+	r0 := anchor.Row - m.opts.WindowRows/2
+	c0 := anchor.Col - m.opts.WindowCols/2
+	// Clamp the window to the grid, preserving its size where possible.
+	r0 = clamp(r0, 0, be.Rows-m.opts.WindowRows)
+	c0 = clamp(c0, 0, be.Cols-m.opts.WindowCols)
+	out := make([]noc.Coord, 0, m.opts.WindowRows*m.opts.WindowCols)
+	for r := r0; r < r0+m.opts.WindowRows; r++ {
+		for c := c0; c < c0+m.opts.WindowCols; c++ {
+			pos := noc.Coord{Row: r, Col: c}
+			if be.InBounds(pos) && be.Supports(pos, cls) && s.free(pos) {
+				out = append(out, pos)
+			}
+		}
+	}
+	return out
+}
+
+// fullCandidates scans the whole grid (the widened search used before the
+// bus fallback).
+func (m *Mapper) fullCandidates(s *SDFG, n *dfg.Node) []noc.Coord {
+	be := s.Backend
+	cls := ClassOf(n)
+	var out []noc.Coord
+	for r := 0; r < be.Rows; r++ {
+		for c := 0; c < be.Cols; c++ {
+			pos := noc.Coord{Row: r, Col: c}
+			if be.Supports(pos, cls) && s.free(pos) {
+				out = append(out, pos)
+			}
+		}
+	}
+	return out
+}
+
+// edgeCandidates lists free load/store entry slots. When an anchor exists,
+// slots are restricted to a band of rows around it (the LSU analog of the
+// fixed window); otherwise all free slots are candidates.
+func (m *Mapper) edgeCandidates(s *SDFG, anchor noc.Coord) []noc.Coord {
+	be := s.Backend
+	lo, hi := 0, be.Rows-1
+	if anchor != unplacedCoord {
+		lo = clamp(anchor.Row-m.opts.WindowRows, 0, be.Rows-1)
+		hi = clamp(anchor.Row+m.opts.WindowRows, 0, be.Rows-1)
+	}
+	var out []noc.Coord
+	for r := lo; r <= hi; r++ {
+		for _, col := range be.EdgeColumns() {
+			pos := noc.Coord{Row: r, Col: col}
+			if s.free(pos) {
+				out = append(out, pos)
+			}
+		}
+	}
+	if len(out) == 0 && anchor != unplacedCoord {
+		// Band exhausted: widen to every edge slot.
+		for r := 0; r < be.Rows; r++ {
+			for _, col := range be.EdgeColumns() {
+				pos := noc.Coord{Row: r, Col: col}
+				if s.free(pos) {
+					out = append(out, pos)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// freeNeighbors counts unoccupied valid positions among the 4-neighbors.
+func (m *Mapper) freeNeighbors(s *SDFG, c noc.Coord) int {
+	if c == BusCoord {
+		return 0
+	}
+	count := 0
+	for _, d := range [4]noc.Coord{{Row: -1}, {Row: 1}, {Col: -1}, {Col: 1}} {
+		p := noc.Coord{Row: c.Row + d.Row, Col: c.Col + d.Col}
+		if (s.Backend.InBounds(p) || s.Backend.IsEdge(p)) && s.free(p) {
+			count++
+		}
+	}
+	return count
+}
+
+// ReductionDepth models the reduction-tree stage of the imap FSM whose cycle
+// count depends on the candidate-matrix dimensions (Figure 8).
+func ReductionDepth(candidates int) int {
+	if candidates <= 1 {
+		return 1
+	}
+	d := 0
+	for v := candidates - 1; v > 0; v >>= 1 {
+		d++
+	}
+	return d
+}
+
+func clamp(v, lo, hi int) int {
+	if hi < lo {
+		hi = lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
