@@ -4,6 +4,7 @@
 #   make lint        # staticcheck (pinned version; skipped with a notice when unavailable offline)
 #   make test        # tier-1: go build + go test
 #   make test-race   # the sweep fan-out must be race-clean
+#   make fuzz-smoke  # 10s of each Go fuzz target (differential, FP spec, ISA round-trip)
 #   make bench       # run the Go benchmarks once with -benchmem (allocation counts)
 #   make bench-json  # write the current performance snapshot to BENCH.json
 #   make bench-check # regression-gate the snapshot against BENCH_baseline.json
@@ -17,9 +18,9 @@ BENCH_TOL ?= 0.02
 # Pinned so every machine lints with the same rule set; bump deliberately.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: ci build vet lint test test-race bench bench-json bench-check bench-baseline bench-attrib
+.PHONY: ci build vet lint test test-race fuzz-smoke bench bench-json bench-check bench-baseline bench-attrib
 
-ci: vet lint test test-race bench-check
+ci: vet lint test test-race fuzz-smoke bench-check
 
 # Prefer a staticcheck already on PATH (matching any version is better than
 # nothing), else fetch the pinned version via `go run`. Offline sandboxes
@@ -45,6 +46,16 @@ test: build
 
 test-race:
 	$(GO) test -race ./...
+
+# Bounded runs of every native fuzz target. The committed corpora replay in
+# plain `make test`; this additionally explores new inputs for a few seconds
+# per target, which is enough to catch gross regressions in the differential
+# harness itself without making CI wall time unpredictable.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/alu -run '^$$' -fuzz '^FuzzFPSpec$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/isa -run '^$$' -fuzz '^FuzzDecodeEncode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/genkern -run '^$$' -fuzz '^FuzzDifferential$$' -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' .

@@ -12,6 +12,7 @@
 //	mesabench -nocache        # disable the simulation-result cache (every run cold)
 //	mesabench -mapper greedy+anneal   # placement strategy for every MESA run
 //	mesabench mappers         # mapper-strategy ablation table
+//	mesabench fuzz -seeds 500 # differential fuzzing sweep (see fuzz.go)
 //
 //	mesabench -out BENCH.json                        # write a schema-versioned perf snapshot
 //	mesabench -check BENCH_baseline.json -tol 0.02   # exit non-zero on any metric regression
@@ -92,6 +93,11 @@ type config struct {
 }
 
 func main() {
+	// Subcommands take the first argument slot and own their flag sets.
+	if len(os.Args) > 1 && os.Args[1] == "fuzz" {
+		os.Exit(runFuzz(os.Args[2:]))
+	}
+
 	asJSON := flag.Bool("json", false, "emit structured JSON instead of rendered tables")
 	statsFile := flag.String("stats", "", "write a unified metrics report as JSON to this file")
 	outFile := flag.String("out", "", "write a schema-versioned benchmark snapshot as JSON to this file")

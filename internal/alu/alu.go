@@ -20,6 +20,58 @@ func F32(f float32) uint32 { return math.Float32bits(f) }
 // ToF32 converts a bit pattern to a float32.
 func ToF32(b uint32) float32 { return math.Float32frombits(b) }
 
+// CanonicalNaN is the RISC-V canonical single-precision quiet NaN. Every
+// arithmetic instruction that produces a NaN produces exactly this pattern
+// (RISC-V ISA §11.3, "NaN Generation and Propagation"): input payloads are
+// never propagated, which also keeps results identical across host
+// architectures with different hardware NaN-propagation rules.
+const CanonicalNaN = 0x7FC00000
+
+// canonF32 rounds an arithmetic result to its bit pattern, replacing any NaN
+// with the canonical quiet NaN.
+func canonF32(f float32) uint32 {
+	if f != f {
+		return CanonicalNaN
+	}
+	return math.Float32bits(f)
+}
+
+// fma32 computes the correctly rounded fused a*b+c in float32, identically
+// on every GOARCH (a Go float32 expression's multiply-add fusing is
+// platform-dependent). The float64 promotions are exact and so is the
+// product p (24-bit × 24-bit fits in 53 bits), reducing the FMA to the sum
+// p+c of two binary64 values. float32(p+c) alone would double-round
+// incorrectly — the exact sum can carry far more than 2·24+2 significand
+// bits (e.g. denormal×huge + tiny addend), which is why a plain
+// float32(math.FMA(...)) is subtly wrong — so the binary64 sum is corrected
+// to round-to-odd via its exact TwoSum error term before the final binary32
+// rounding (Boldo–Melquiond: rounding to odd at ≥ p+2 bits makes the second
+// rounding exact).
+func fma32(a, b, c float32) float32 {
+	p := float64(a) * float64(b) // exact
+	dc := float64(c)
+	s := p + dc
+	if math.IsInf(s, 0) || s != s {
+		// Infinity and NaN semantics involve no rounding; overflow to ±inf
+		// is far beyond binary32 range either way.
+		return float32(s)
+	}
+	// TwoSum: t is the exact error of the sum, s + t == p + dc.
+	pv := s - dc
+	cv := s - pv
+	t := (p - pv) + (dc - cv)
+	if t != 0 && math.Float64bits(s)&1 == 0 {
+		// Inexact sum with an even last bit: replace s with its neighbor
+		// toward the exact value, making the last bit odd (round-to-odd).
+		if t > 0 {
+			s = math.Nextafter(s, math.Inf(1))
+		} else {
+			s = math.Nextafter(s, math.Inf(-1))
+		}
+	}
+	return float32(s)
+}
+
 // Eval computes the result of a non-memory, non-control operation given its
 // (up to three) source operand values. Operands for absent sources are
 // ignored. For branches, use EvalBranch; for memory, the engines compute the
@@ -94,27 +146,30 @@ func Eval(op isa.Op, a, b, c uint32) (uint32, error) {
 		return a % b, nil
 
 	case isa.OpFADDS:
-		return F32(ToF32(a) + ToF32(b)), nil
+		return canonF32(ToF32(a) + ToF32(b)), nil
 	case isa.OpFSUBS:
-		return F32(ToF32(a) - ToF32(b)), nil
+		return canonF32(ToF32(a) - ToF32(b)), nil
 	case isa.OpFMULS:
-		return F32(ToF32(a) * ToF32(b)), nil
+		return canonF32(ToF32(a) * ToF32(b)), nil
 	case isa.OpFDIVS:
-		return F32(ToF32(a) / ToF32(b)), nil
+		return canonF32(ToF32(a) / ToF32(b)), nil
 	case isa.OpFSQRTS:
-		return F32(float32(math.Sqrt(float64(ToF32(a))))), nil
+		return canonF32(float32(math.Sqrt(float64(ToF32(a))))), nil
 	case isa.OpFMINS:
-		return F32(fmin(ToF32(a), ToF32(b))), nil
+		return fminBits(a, b), nil
 	case isa.OpFMAXS:
-		return F32(fmax(ToF32(a), ToF32(b))), nil
+		return fmaxBits(a, b), nil
+	// The FMA family negates operands, not the rounded result: FNMADD.S is
+	// -(rs1×rs2)-rs3 computed fused, which differs from -(fma(rs1,rs2,rs3))
+	// in the sign of exact zero results.
 	case isa.OpFMADDS:
-		return F32(ToF32(a)*ToF32(b) + ToF32(c)), nil
+		return canonF32(fma32(ToF32(a), ToF32(b), ToF32(c))), nil
 	case isa.OpFMSUBS:
-		return F32(ToF32(a)*ToF32(b) - ToF32(c)), nil
+		return canonF32(fma32(ToF32(a), ToF32(b), -ToF32(c))), nil
 	case isa.OpFNMADDS:
-		return F32(-(ToF32(a) * ToF32(b)) - ToF32(c)), nil
+		return canonF32(fma32(-ToF32(a), ToF32(b), -ToF32(c))), nil
 	case isa.OpFNMSUBS:
-		return F32(-(ToF32(a) * ToF32(b)) + ToF32(c)), nil
+		return canonF32(fma32(-ToF32(a), ToF32(b), ToF32(c))), nil
 
 	case isa.OpFCVTWS:
 		return uint32(int32(clampF64(float64(ToF32(a)), math.MinInt32, math.MaxInt32))), nil
@@ -177,31 +232,53 @@ func EvalBranch(op isa.Op, a, b uint32) (bool, error) {
 // EffAddr computes the effective address of a load or store.
 func EffAddr(base uint32, imm int32) uint32 { return base + uint32(imm) }
 
-func fmin(a, b float32) float32 {
+// fminBits and fmaxBits implement FMIN.S/FMAX.S (IEEE 754-2019
+// minimumNumber/maximumNumber, RISC-V ISA §11.6): one NaN operand yields the
+// other operand, two NaN operands yield the canonical NaN, and -0.0 is
+// considered less than +0.0. They operate on bit patterns because the
+// zero-sign rule and NaN canonicalization are invisible at float32 level.
+func fminBits(a, b uint32) uint32 {
 	switch {
-	case isNaN32(a):
+	case isNaNBits(a) && isNaNBits(b):
+		return CanonicalNaN
+	case isNaNBits(a):
 		return b
-	case isNaN32(b):
-		return a
-	case a < b:
+	case isNaNBits(b):
 		return a
 	}
-	return b
+	fa, fb := ToF32(a), ToF32(b)
+	switch {
+	case fa < fb:
+		return a
+	case fb < fa:
+		return b
+	}
+	// Equal values: differing bit patterns only for ±0, where OR keeps the
+	// sign bit — min(-0,+0) = -0.
+	return a | b
 }
 
-func fmax(a, b float32) float32 {
+func fmaxBits(a, b uint32) uint32 {
 	switch {
-	case isNaN32(a):
+	case isNaNBits(a) && isNaNBits(b):
+		return CanonicalNaN
+	case isNaNBits(a):
 		return b
-	case isNaN32(b):
-		return a
-	case a > b:
+	case isNaNBits(b):
 		return a
 	}
-	return b
+	fa, fb := ToF32(a), ToF32(b)
+	switch {
+	case fa > fb:
+		return a
+	case fb > fa:
+		return b
+	}
+	// Equal values: AND clears the sign bit for ±0 — max(-0,+0) = +0.
+	return a & b
 }
 
-func isNaN32(f float32) bool { return f != f }
+func isNaNBits(b uint32) bool { return b&0x7F800000 == 0x7F800000 && b&0x7FFFFF != 0 }
 
 func clampF64(v, lo, hi float64) float64 {
 	switch {

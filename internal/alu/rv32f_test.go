@@ -1,0 +1,203 @@
+package alu
+
+import (
+	"math"
+	"testing"
+
+	"mesa/internal/isa"
+)
+
+// Spec-vector tests for the RV32F corner cases the differential fuzzer is
+// built to catch: FMIN.S/FMAX.S zero-sign and NaN-canonicalization rules
+// (RISC-V ISA §11.6) and the single-rounding fused multiply-add family
+// (§11.5). All vectors are expressed as bit patterns because the
+// interesting behaviour — signed zeros, NaN payloads — is invisible at
+// float32 level.
+
+const (
+	negZero = 0x80000000
+	posZero = 0x00000000
+	posInf  = 0x7F800000
+	negInf  = 0xFF800000
+	qNaNPay = 0x7FC12345 // quiet NaN with a non-canonical payload
+	sNaN    = 0x7F800001 // signaling NaN
+	one     = 0x3F800000
+	two     = 0x40000000
+)
+
+func evalBits(t *testing.T, op isa.Op, a, b, c uint32) uint32 {
+	t.Helper()
+	v, err := Eval(op, a, b, c)
+	if err != nil {
+		t.Fatalf("Eval(%v): %v", op, err)
+	}
+	return v
+}
+
+func TestFMinFMaxSpecVectors(t *testing.T) {
+	cases := []struct {
+		name    string
+		op      isa.Op
+		a, b, w uint32
+	}{
+		// The paper-cited trap: FMIN.S(-0.0, +0.0) is -0.0 in either
+		// operand order, and symmetrically FMAX.S gives +0.0.
+		{"min(-0,+0)", isa.OpFMINS, negZero, posZero, negZero},
+		{"min(+0,-0)", isa.OpFMINS, posZero, negZero, negZero},
+		{"max(-0,+0)", isa.OpFMAXS, negZero, posZero, posZero},
+		{"max(+0,-0)", isa.OpFMAXS, posZero, negZero, posZero},
+		{"min(-0,-0)", isa.OpFMINS, negZero, negZero, negZero},
+		{"max(+0,+0)", isa.OpFMAXS, posZero, posZero, posZero},
+
+		// One NaN operand: the other operand, never the NaN payload.
+		{"min(NaN,2)", isa.OpFMINS, qNaNPay, two, two},
+		{"min(2,NaN)", isa.OpFMINS, two, qNaNPay, two},
+		{"max(sNaN,2)", isa.OpFMAXS, sNaN, two, two},
+		{"max(2,sNaN)", isa.OpFMAXS, two, sNaN, two},
+		{"min(NaN,-inf)", isa.OpFMINS, qNaNPay, negInf, negInf},
+
+		// Two NaN operands: the canonical NaN, not a propagated payload.
+		{"min(NaN,NaN)", isa.OpFMINS, qNaNPay, sNaN, CanonicalNaN},
+		{"max(NaN,NaN)", isa.OpFMAXS, qNaNPay, qNaNPay, CanonicalNaN},
+
+		// Ordinary ordering, including infinities.
+		{"min(1,2)", isa.OpFMINS, one, two, one},
+		{"max(1,2)", isa.OpFMAXS, one, two, two},
+		{"min(-inf,1)", isa.OpFMINS, negInf, one, negInf},
+		{"max(inf,1)", isa.OpFMAXS, posInf, one, posInf},
+	}
+	for _, c := range cases {
+		if got := evalBits(t, c.op, c.a, c.b, 0); got != c.w {
+			t.Errorf("%s: %v(%#08x, %#08x) = %#08x, want %#08x", c.name, c.op, c.a, c.b, got, c.w)
+		}
+	}
+}
+
+// TestFMASingleRounding pins the fused family to single-rounding semantics
+// with vectors where a separately rounded multiply-then-add gives a
+// different answer. These are the committed regressions behind the fuzz
+// corpus: before the fix the result depended on whether the Go compiler
+// fused the expression on the host GOARCH.
+func TestFMASingleRounding(t *testing.T) {
+	cases := []struct {
+		a, b, c, fused uint32
+	}{
+		// (1+2⁻²³)² - (1+2⁻²²): exact result 2⁻⁴⁶; the unfused product
+		// rounds to 1+2⁻²², so multiply-then-add returns exactly 0.
+		{0x3F800001, 0x3F800001, 0xBF800002, 0x28800000},
+		// Last-ulp divergences found by random search.
+		{0x3F4B0442, 0x3F45341E, 0xBF209B8E, 0xBC86FE52},
+		{0x3F092A35, 0x3F74ED16, 0xBF08B92B, 0xBCAFBD14},
+		{0x3F6211B5, 0x3F17A4D1, 0xBF4C3D24, 0xBE8CA64D},
+	}
+	for _, c := range cases {
+		got := evalBits(t, isa.OpFMADDS, c.a, c.b, c.c)
+		if got != c.fused {
+			t.Errorf("fmadd(%#08x,%#08x,%#08x) = %#08x, want single-rounded %#08x",
+				c.a, c.b, c.c, got, c.fused)
+		}
+		unfused := F32(ToF32(c.a) * ToF32(c.b)) // rounded product…
+		unfused = F32(ToF32(unfused) + ToF32(c.c))
+		if got == unfused {
+			t.Errorf("vector %#08x,%#08x,%#08x does not separate fused from unfused", c.a, c.b, c.c)
+		}
+	}
+}
+
+// TestFMAFamilySigns checks the operand-negation semantics of the four FMA
+// variants, including the exact-zero sign cases where negating the rounded
+// result would give the wrong zero.
+func TestFMAFamilySigns(t *testing.T) {
+	f := func(x float32) uint32 { return F32(x) }
+	cases := []struct {
+		name    string
+		op      isa.Op
+		a, b, c uint32
+		want    uint32
+	}{
+		{"fmadd", isa.OpFMADDS, f(2), f(3), f(4), f(10)},
+		{"fmsub", isa.OpFMSUBS, f(2), f(3), f(4), f(2)},
+		{"fnmadd", isa.OpFNMADDS, f(2), f(3), f(4), f(-10)},
+		{"fnmsub", isa.OpFNMSUBS, f(2), f(3), f(4), f(-2)},
+		// FNMADD.S(1,1,-1) = -(1·1)-(-1) = -1+1: exact cancellation gives
+		// +0 under round-to-nearest-even. Negating fma(1,1,-1)=+0 after
+		// rounding would give -0.
+		{"fnmadd exact zero", isa.OpFNMADDS, f(1), f(1), f(-1), posZero},
+		{"fmsub exact zero", isa.OpFMSUBS, f(1), f(1), f(1), posZero},
+		// Zero products keep IEEE zero-sign addition rules: (+0)+(−0)=+0,
+		// (−0)+(−0)=−0.
+		{"fmadd zero signs", isa.OpFMADDS, posZero, negZero, negZero, negZero},
+		{"fmadd mixed zeros", isa.OpFMADDS, posZero, posZero, negZero, posZero},
+	}
+	for _, c := range cases {
+		if got := evalBits(t, c.op, c.a, c.b, c.c); got != c.want {
+			t.Errorf("%s: %v(%#08x,%#08x,%#08x) = %#08x, want %#08x",
+				c.name, c.op, c.a, c.b, c.c, got, c.want)
+		}
+	}
+}
+
+// TestArithmeticNaNCanonicalization: every FP arithmetic op that produces a
+// NaN produces the canonical 0x7FC00000, regardless of input payloads.
+func TestArithmeticNaNCanonicalization(t *testing.T) {
+	cases := []struct {
+		name    string
+		op      isa.Op
+		a, b, c uint32
+	}{
+		{"fadd NaN in", isa.OpFADDS, qNaNPay, one, 0},
+		{"fadd inf-inf", isa.OpFADDS, posInf, negInf, 0},
+		{"fsub NaN in", isa.OpFSUBS, one, sNaN, 0},
+		{"fmul 0*inf", isa.OpFMULS, posZero, posInf, 0},
+		{"fdiv 0/0", isa.OpFDIVS, posZero, posZero, 0},
+		{"fdiv inf/inf", isa.OpFDIVS, posInf, posInf, 0},
+		{"fsqrt(-1)", isa.OpFSQRTS, F32(-1), 0, 0},
+		{"fmadd NaN in", isa.OpFMADDS, qNaNPay, one, one},
+		{"fmadd inf*0", isa.OpFMADDS, posInf, posZero, one},
+		{"fnmsub inf-inf", isa.OpFNMSUBS, posInf, one, posInf},
+	}
+	for _, c := range cases {
+		if got := evalBits(t, c.op, c.a, c.b, c.c); got != CanonicalNaN {
+			t.Errorf("%s: %v = %#08x, want canonical NaN %#08x", c.name, c.op, got, uint32(CanonicalNaN))
+		}
+	}
+	// Sign injection is not arithmetic: payloads pass through untouched.
+	if got := evalBits(t, isa.OpFSGNJS, qNaNPay, one, 0); got != qNaNPay&0x7FFFFFFF {
+		t.Errorf("fsgnj should preserve NaN payloads, got %#08x", got)
+	}
+}
+
+// TestFMADoubleRoundingCorrection pins the case FuzzFPSpec found: a
+// denormal×huge product plus a tiny denormal addend, where the exact result
+// carries ~180 significand bits and float32(math.FMA(float64...)) lands on
+// the wrong side of the binary32 tie. The round-to-odd correction must give
+// the correctly rounded answer.
+func TestFMADoubleRoundingCorrection(t *testing.T) {
+	a, b, c := uint32(0x00000003), uint32(0x7F7FFF9E), uint32(0x000000A5)
+	const want = 0xB5BFFFB7 // exact-arithmetic rounding (big.Float reference)
+	if got := evalBits(t, isa.OpFNMADDS, a, b, c); got != want {
+		t.Errorf("fnmadd(%#08x,%#08x,%#08x) = %#08x, want %#08x", a, b, c, got, want)
+	}
+	// The naive emulation demonstrably differs on this vector — if it stops
+	// differing, the vector no longer guards anything.
+	naive := float32(math.FMA(-float64(ToF32(a)), float64(ToF32(b)), -float64(ToF32(c))))
+	if math.Float32bits(naive) == want {
+		t.Errorf("vector no longer separates corrected from naive double rounding")
+	}
+}
+
+// TestFMAPortability: the FMA result must be byte-identical across GOARCH
+// and correctly rounded. Cross-check the round-to-odd implementation against
+// the exact big.Float oracle (refFMA, shared with FuzzFPSpec) on a
+// structured sweep.
+func TestFMAPortability(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		a := uint32(i*2654435761 + 1)
+		b := a>>7 | a<<25
+		c := (a ^ 0x5A5A5A5A) | 0x80000000
+		want := refFMA(a, b, c, false, false)
+		if got := evalBits(t, isa.OpFMADDS, a, b, c); got != want {
+			t.Fatalf("fmadd(%#08x,%#08x,%#08x) = %#08x, want %#08x", a, b, c, got, want)
+		}
+	}
+}

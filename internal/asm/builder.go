@@ -55,7 +55,12 @@ func (b *Builder) fail(err error) {
 // Err returns the first error recorded while building.
 func (b *Builder) Err() error { return b.err }
 
-// Program resolves labels and returns the built program.
+// Program resolves labels and returns the built program. Every instruction —
+// including branch offsets produced by label resolution — is validated
+// against the machine encoding, so out-of-range immediates surface here as
+// errors rather than as panics deeper in the pipeline. Fuzz-generated
+// programs rely on this: a randomly grown loop body whose branch span
+// overflows the 13-bit B-type range must fail cleanly.
 func (b *Builder) Program() (*isa.Program, error) {
 	if b.err != nil {
 		return nil, b.err
@@ -67,6 +72,11 @@ func (b *Builder) Program() (*isa.Program, error) {
 		}
 		offset := int32(4 * (target - f.index))
 		b.insts[f.index].Imm = offset
+	}
+	for i, in := range b.insts {
+		if _, err := isa.Encode(in); err != nil {
+			return nil, fmt.Errorf("asm: inst %d at %#x: %w", i, in.Addr, err)
+		}
 	}
 	symbols := make(map[string]uint32, len(b.labels))
 	for name, idx := range b.labels {

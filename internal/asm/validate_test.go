@@ -1,0 +1,83 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"mesa/internal/isa"
+)
+
+// Program() must reject instructions the machine cannot encode instead of
+// letting them flow downstream (where they previously surfaced as panics in
+// MustEncode). These are exactly the shapes a program generator produces.
+func TestProgramRejectsOutOfRangeImmediates(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *Builder)
+		want  string
+	}{
+		{"addi too large", func(b *Builder) {
+			b.ADDI(isa.RegT0, isa.RegT0, 2048) // 12-bit signed max is 2047
+			b.ECALL()
+		}, "out of 12-bit range"},
+		{"addi too small", func(b *Builder) {
+			b.ADDI(isa.RegT0, isa.RegT0, -2049)
+			b.ECALL()
+		}, "out of 12-bit range"},
+		{"load offset", func(b *Builder) {
+			b.LW(isa.RegA0, 4096, isa.RegA1)
+			b.ECALL()
+		}, "out of 12-bit range"},
+		{"store offset", func(b *Builder) {
+			b.SW(isa.RegA0, -2100, isa.RegA1)
+			b.ECALL()
+		}, "out of 12-bit range"},
+		{"branch span overflow", func(b *Builder) {
+			// A backward branch spanning > 4 KiB exceeds the 13-bit B-type
+			// immediate; this is how oversized fuzz-generated loops fail.
+			b.Label("loop")
+			for i := 0; i < 1100; i++ {
+				b.NOP()
+			}
+			b.BNE(isa.RegT0, isa.RegT1, "loop")
+			b.ECALL()
+		}, "out of 13-bit range"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := NewBuilder(0x1000)
+			c.build(b)
+			p, err := b.Program()
+			if err == nil {
+				t.Fatalf("Program() accepted unencodable instruction, got %d insts", len(p.Insts))
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Program() error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestProgramAcceptsBoundaryImmediates(t *testing.T) {
+	b := NewBuilder(0x1000)
+	b.ADDI(isa.RegT0, isa.RegT0, 2047)
+	b.ADDI(isa.RegT0, isa.RegT0, -2048)
+	b.LW(isa.RegA0, 2047, isa.RegA1)
+	b.SW(isa.RegA0, -2048, isa.RegA1)
+	b.ECALL()
+	if _, err := b.Program(); err != nil {
+		t.Fatalf("boundary immediates should encode: %v", err)
+	}
+}
+
+// Assemble must return the validation error through its public API rather
+// than crashing the caller.
+func TestAssembleRejectsOutOfRangeImmediates(t *testing.T) {
+	_, err := Assemble(0x1000, "addi t0, t0, 4000\necall")
+	if err == nil {
+		t.Fatal("Assemble accepted an out-of-range addi immediate")
+	}
+	if !strings.Contains(err.Error(), "out of 12-bit range") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

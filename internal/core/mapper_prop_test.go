@@ -1,10 +1,12 @@
-package core
+package core_test
 
 import (
 	"testing"
 
 	"mesa/internal/accel"
+	"mesa/internal/core"
 	"mesa/internal/dfg"
+	"mesa/internal/genkern"
 	"mesa/internal/mapping"
 	"mesa/internal/noc"
 )
@@ -16,7 +18,11 @@ import (
 func TestMapperInvariantsOnRandomGraphs(t *testing.T) {
 	backends := []*accel.Config{accel.M64(), accel.M128(), accel.M512()}
 	for seed := int64(0); seed < 150; seed++ {
-		prog, _ := randomLoopProgram(t, seed)
+		g, err := genkern.Generate(seed, genkern.DefaultMix())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		prog := g.Prog
 		// Extract the loop body.
 		var loopStart, end uint32
 		for _, in := range prog.Insts {
@@ -26,14 +32,14 @@ func TestMapperInvariantsOnRandomGraphs(t *testing.T) {
 		}
 		body := prog.Slice(loopStart, end)
 		be := backends[seed%int64(len(backends))]
-		l, err := BuildLDFG(body, be.EstimateLat)
+		l, err := core.BuildLDFG(body, be.EstimateLat)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		share := 1 + int(seed%3) // also exercise the time-sharing extension
-		opts := DefaultMapperOptions()
+		opts := core.DefaultMapperOptions()
 		opts.TimeShare = share
-		s, stats, err := NewMapper(opts).Map(l, be)
+		s, stats, err := core.NewMapper(opts).Map(l, be)
 		if err != nil {
 			continue // structural rejection is a valid outcome
 		}
@@ -93,7 +99,11 @@ func TestMapperInvariantsOnRandomGraphs(t *testing.T) {
 
 // TestMapperDeterminism: identical inputs produce identical placements.
 func TestMapperDeterminism(t *testing.T) {
-	prog, _ := randomLoopProgram(t, 99)
+	g, err := genkern.Generate(99, genkern.DefaultMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := g.Prog
 	var loopStart, end uint32
 	for _, in := range prog.Insts {
 		if in.IsBackwardBranch() {
@@ -102,19 +112,19 @@ func TestMapperDeterminism(t *testing.T) {
 	}
 	be := accel.M128()
 	body := prog.Slice(loopStart, end)
-	l1, err := BuildLDFG(body, be.EstimateLat)
+	l1, err := core.BuildLDFG(body, be.EstimateLat)
 	if err != nil {
 		t.Fatal(err)
 	}
-	l2, err := BuildLDFG(body, be.EstimateLat)
+	l2, err := core.BuildLDFG(body, be.EstimateLat)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s1, _, err := NewMapper(DefaultMapperOptions()).Map(l1, be)
+	s1, _, err := core.NewMapper(core.DefaultMapperOptions()).Map(l1, be)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, _, err := NewMapper(DefaultMapperOptions()).Map(l2, be)
+	s2, _, err := core.NewMapper(core.DefaultMapperOptions()).Map(l2, be)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,58 +1,53 @@
-package core
+package core_test
 
 import (
-	"math/rand"
 	"testing"
 
 	"mesa/internal/accel"
-	"mesa/internal/asm"
+	"mesa/internal/core"
+	"mesa/internal/genkern"
 	"mesa/internal/isa"
-	"mesa/internal/kernels"
 	"mesa/internal/mem"
 	"mesa/internal/sim"
 )
 
-// TestRandomLoopsDifferential generates random loop bodies — integer and FP
+// TestRandomLoopsDifferential runs generated loop bodies — integer and FP
 // arithmetic, loads/stores with aliasing, nested predicated forward
-// branches — and runs each program twice: purely on the functional
-// interpreter and under a MESA controller with the spatial accelerator.
-// Final memory and register state must match exactly. This exercises
-// renaming, live-in/live-out handling, memory disambiguation, store-to-load
-// forwarding, predication (including PredDep chains), mapping, and the
-// optimization rounds against an oracle, across hundreds of program shapes
-// no hand-written test would cover.
+// branches — through the functional interpreter and a MESA controller with
+// the spatial accelerator; final memory and register state must match
+// exactly. This exercises renaming, live-in/live-out handling, memory
+// disambiguation, store-to-load forwarding, predication (including PredDep
+// chains), mapping, and the optimization rounds against an oracle, across
+// hundreds of program shapes no hand-written test would cover.
+//
+// The generator lives in internal/genkern (promoted from this file); the
+// full every-strategy × both-backends sweep is genkern's own differential
+// test and the `mesabench fuzz` subcommand. This test keeps the
+// high-seed-count spatial configuration as the controller's own regression
+// net.
 func TestRandomLoopsDifferential(t *testing.T) {
 	const seeds = 250
 	accelerated := 0
 	for seed := int64(0); seed < seeds; seed++ {
-		prog, ok := randomLoopProgram(t, seed)
-		if prog == nil {
-			continue
-		}
-
-		memSetup := func() *mem.Memory {
-			m := mem.NewMemory()
-			rng := rand.New(rand.NewSource(seed * 31))
-			for i := uint32(0); i < 512; i++ {
-				m.StoreWord(scratchBase+4*i, rng.Uint32())
-			}
-			return m
+		g, err := genkern.Generate(seed, genkern.DefaultMix())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
 		}
 
 		// Reference.
-		refMem := memSetup()
-		refMachine := sim.New(prog, refMem)
+		refMem := g.NewMemory()
+		refMachine := sim.New(g.Prog, refMem)
 		if _, err := refMachine.Run(2_000_000); err != nil {
 			t.Fatalf("seed %d: reference: %v", seed, err)
 		}
 
 		// MESA.
-		opts := DefaultOptions(accel.M128())
+		opts := core.DefaultOptions(accel.M128())
 		opts.OptimizeBatch = 8
-		ctl := NewController(opts)
-		accMem := memSetup()
+		ctl := core.NewController(opts)
+		accMem := g.NewMemory()
 		hier := mem.MustHierarchy(mem.DefaultHierarchy())
-		report, machine, err := ctl.Run(prog, accMem, hier, 2_000_000)
+		report, machine, err := ctl.Run(g.Prog, accMem, hier, 2_000_000)
 		if err != nil {
 			t.Fatalf("seed %d: controller: %v", seed, err)
 		}
@@ -63,150 +58,17 @@ func TestRandomLoopsDifferential(t *testing.T) {
 		if !refMem.Equal(accMem) {
 			diff := refMem.Diff(accMem, 4)
 			t.Fatalf("seed %d: memory mismatch at %#x\nprogram:\n%s",
-				seed, diff, dumpProgram(prog))
+				seed, diff, g.Dump())
 		}
 		for r := 0; r < isa.NumRegs; r++ {
 			if machine.Regs[r] != refMachine.Regs[r] {
 				t.Fatalf("seed %d: reg %v = %#x, ref %#x\nprogram:\n%s",
-					seed, isa.Reg(r), machine.Regs[r], refMachine.Regs[r], dumpProgram(prog))
+					seed, isa.Reg(r), machine.Regs[r], refMachine.Regs[r], g.Dump())
 			}
 		}
-		_ = ok
 	}
 	if accelerated < seeds/2 {
 		t.Errorf("only %d/%d random loops were accelerated — generator or detector too conservative", accelerated, seeds)
 	}
 	t.Logf("%d/%d random loops accelerated and verified", accelerated, seeds)
-}
-
-const scratchBase = kernels.ArrA
-
-// randomLoopProgram builds a random program with one hot loop. Returns nil
-// when the generated shape is degenerate.
-func randomLoopProgram(t *testing.T, seed int64) (*isa.Program, bool) {
-	t.Helper()
-	rng := rand.New(rand.NewSource(seed))
-
-	// Register pools. t0/t1 are the induction counter and bound; a0 is the
-	// scratch array base (bumped at most once per iteration); the rest are
-	// free data registers.
-	intRegs := []isa.Reg{isa.X8, isa.X9, isa.X18, isa.X19, isa.X28, isa.X29, isa.X30, isa.X31}
-	fpRegs := []isa.Reg{isa.F0, isa.F1, isa.F2, isa.F3, isa.F4}
-	pickInt := func() isa.Reg { return intRegs[rng.Intn(len(intRegs))] }
-	pickFP := func() isa.Reg { return fpRegs[rng.Intn(len(fpRegs))] }
-
-	b := asm.NewBuilder(0x1000)
-	// Prelude: seed the data registers with random values.
-	for _, r := range intRegs {
-		b.LI(r, int32(rng.Uint32()))
-	}
-	b.LI(isa.RegA0, scratchBase+64)
-	b.LI(isa.RegT0, 0)
-	b.LI(isa.RegT1, int32(8+rng.Intn(56))) // 8–63 iterations
-	// FP registers from scratch memory (finite random bit patterns would
-	// include NaNs; the ALU handles them deterministically, so load raw).
-	for i, r := range fpRegs {
-		b.FLW(r, int32(4*i), isa.RegA0)
-	}
-	b.Label("loop")
-
-	// Body: a random mix of operations with nested forward branches.
-	bodyLen := 4 + rng.Intn(20)
-	// Forward branches use unique labels; track open shadows to keep them
-	// nested (the hardware handles nested predication).
-	type shadow struct{ end int }
-	var open []shadow
-	labelN := 0
-	pending := map[int][]string{} // body index -> labels to place before it
-
-	for i := 0; i < bodyLen; i++ {
-		for _, lbl := range pending[i] {
-			b.Label(lbl)
-		}
-		delete(pending, i)
-		for len(open) > 0 && open[len(open)-1].end <= i {
-			open = open[:len(open)-1]
-		}
-
-		switch rng.Intn(10) {
-		case 0, 1: // integer reg-reg
-			ops := []func(rd, rs1, rs2 isa.Reg) *asm.Builder{b.ADD, b.SUB, b.XOR, b.OR, b.AND, b.MUL, b.SLL, b.SRL}
-			ops[rng.Intn(len(ops))](pickInt(), pickInt(), pickInt())
-		case 2: // integer imm
-			b.ADDI(pickInt(), pickInt(), int32(rng.Intn(2048)-1024))
-		case 3: // shift/compare
-			if rng.Intn(2) == 0 {
-				b.SLLI(pickInt(), pickInt(), int32(rng.Intn(31)))
-			} else {
-				b.SLT(pickInt(), pickInt(), pickInt())
-			}
-		case 4: // load
-			b.LW(pickInt(), int32(4*rng.Intn(32)), isa.RegA0)
-		case 5: // store (random offset: exercises disambiguation/forwarding)
-			b.SW(pickInt(), int32(4*rng.Intn(32)), isa.RegA0)
-		case 6, 7: // FP
-			switch rng.Intn(4) {
-			case 0:
-				b.FADD(pickFP(), pickFP(), pickFP())
-			case 1:
-				b.FMUL(pickFP(), pickFP(), pickFP())
-			case 2:
-				b.FSUB(pickFP(), pickFP(), pickFP())
-			case 3:
-				b.FMADD(pickFP(), pickFP(), pickFP(), pickFP())
-			}
-		case 8: // FP load/store
-			if rng.Intn(2) == 0 {
-				b.FLW(pickFP(), int32(4*rng.Intn(32)), isa.RegA0)
-			} else {
-				b.FSW(pickFP(), int32(4*rng.Intn(32)), isa.RegA0)
-			}
-		case 9: // forward branch opening a (nested) shadow
-			maxEnd := bodyLen
-			if len(open) > 0 && open[len(open)-1].end < maxEnd {
-				maxEnd = open[len(open)-1].end
-			}
-			if maxEnd <= i+2 {
-				b.NOP()
-				break
-			}
-			end := i + 2 + rng.Intn(maxEnd-i-2)
-			labelN++
-			lbl := "skip" + string(rune('a'+labelN%26)) + string(rune('0'+labelN/26))
-			if rng.Intn(2) == 0 {
-				b.BEQ(pickInt(), pickInt(), lbl)
-			} else {
-				b.BLT(pickInt(), pickInt(), lbl)
-			}
-			pending[end] = append(pending[end], lbl)
-			open = append(open, shadow{end: end})
-		}
-	}
-	// Close any labels still pending at or past the body end.
-	for _, lbls := range pending {
-		for _, lbl := range lbls {
-			b.Label(lbl)
-		}
-	}
-
-	b.ADDI(isa.RegT0, isa.RegT0, 1)
-	b.BLT(isa.RegT0, isa.RegT1, "loop")
-	// Publish register state through memory so the verifier sees it (the
-	// differential check also compares registers directly).
-	b.SW(isa.X8, 0, isa.RegA0)
-	b.ECALL()
-
-	prog, err := b.Program()
-	if err != nil {
-		t.Fatalf("seed %d: build: %v", seed, err)
-	}
-	return prog, true
-}
-
-func dumpProgram(p *isa.Program) string {
-	s := ""
-	for _, in := range p.Insts {
-		s += in.String() + "\n"
-	}
-	return s
 }

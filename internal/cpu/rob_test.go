@@ -11,16 +11,25 @@ import (
 // loads cannot overlap (memory-level parallelism collapses), so a stream of
 // cache-missing loads slows down markedly versus a large ROB.
 func TestROBLimitsMLP(t *testing.T) {
+	// Four independent loads per iteration, each in its own 4 KiB page so
+	// they all miss; page-apart addressing needs one base register per
+	// stream to keep load offsets inside the 12-bit range.
 	src := `
 	li t0, 0
 	li t1, 400
 	li t2, 0x100000
+	li a0, 0x101000
+	li a1, 0x102000
+	li a2, 0x103000
 loop:
 	lw   t3, 0(t2)
-	lw   t4, 4096(t2)
-	lw   t5, 8192(t2)
-	lw   t6, 12288(t2)
+	lw   t4, 0(a0)
+	lw   t5, 0(a1)
+	lw   t6, 0(a2)
 	addi t2, t2, 64
+	addi a0, a0, 64
+	addi a1, a1, 64
+	addi a2, a2, 64
 	addi t0, t0, 1
 	blt  t0, t1, loop
 	ecall

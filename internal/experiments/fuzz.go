@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mesa/internal/genkern"
+	"mesa/internal/isa"
+)
+
+// FuzzOptions configures a differential fuzzing sweep.
+type FuzzOptions struct {
+	Seeds          int // number of sequential seeds, starting at FirstSeed
+	FirstSeed      int64
+	Mix            genkern.Mix
+	Engines        []genkern.EngineConfig // nil: every strategy × both backends
+	MaxSteps       uint64                 // per-engine step bound (0: default)
+	Minimize       bool                   // ddmin failing programs
+	MinimizeChecks int                    // predicate budget per minimization (0: default)
+}
+
+// FuzzResult is the outcome for one seed. The sweep never aborts on a
+// mismatch: every seed reports, and the summary aggregates.
+type FuzzResult struct {
+	Seed           int64
+	Insts          int
+	Accelerated    int    // engine configs that accelerated ≥1 region
+	Engines        int    // engine configs checked
+	Mismatch       string // divergence description, "" when clean
+	Minimized      string // dump of the ddmin-reduced failing program
+	MinimizedInsts int
+}
+
+// FuzzSummary aggregates a sweep. Results are seed-ordered regardless of
+// worker count, so the rendered report is byte-identical across -parallel
+// settings.
+type FuzzSummary struct {
+	Mix        string
+	Engines    []string
+	Results    []FuzzResult
+	Mismatches int
+}
+
+// FuzzSweep generates Seeds programs and differentially checks each across
+// the configured engines, fanning seeds out over the shared worker pool.
+func FuzzSweep(opts FuzzOptions) (*FuzzSummary, error) {
+	if opts.Seeds <= 0 {
+		return nil, fmt.Errorf("experiments: fuzz sweep needs a positive seed count")
+	}
+	engines := opts.Engines
+	if engines == nil {
+		engines = genkern.AllEngineConfigs()
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 2_000_000
+	}
+
+	results, err := runAll(opts.Seeds, func(i int) (FuzzResult, error) {
+		seed := opts.FirstSeed + int64(i)
+		g, err := genkern.Generate(seed, opts.Mix)
+		if err != nil {
+			return FuzzResult{}, err
+		}
+		res := FuzzResult{Seed: seed, Insts: len(g.Prog.Insts)}
+		rep, err := genkern.CheckProgram(g.Prog, g.NewMemory, engines, maxSteps)
+		if err == nil {
+			res.Engines = len(rep.Engines)
+			for _, ok := range rep.Accelerated {
+				if ok {
+					res.Accelerated++
+				}
+			}
+			return res, nil
+		}
+		mm, ok := err.(*genkern.MismatchError)
+		if !ok {
+			// Harness failure (e.g. an engine refused the program) — a bug in
+			// its own right, surfaced as a sweep error rather than a mismatch.
+			return FuzzResult{}, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		res.Mismatch = mm.Error()
+		if opts.Minimize {
+			small := genkern.Minimize(g.Prog, func(p *isa.Program) bool {
+				_, cerr := genkern.CheckProgram(p, g.NewMemory, engines, maxSteps)
+				_, isMM := cerr.(*genkern.MismatchError)
+				return isMM
+			}, opts.MinimizeChecks)
+			res.Minimized = genkern.DumpProgram(small)
+			res.MinimizedInsts = len(small.Insts)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sum := &FuzzSummary{Mix: opts.Mix.String()}
+	for _, ec := range engines {
+		sum.Engines = append(sum.Engines, ec.Name)
+	}
+	sum.Results = results
+	for _, r := range results {
+		if r.Mismatch != "" {
+			sum.Mismatches++
+		}
+	}
+	return sum, nil
+}
+
+// RenderFuzz formats a sweep summary deterministically: aggregate counts,
+// then one line per mismatching seed with its (optionally minimized)
+// reproduction.
+func RenderFuzz(s *FuzzSummary) string {
+	var sb strings.Builder
+	totalInsts, accelerated := 0, 0
+	for _, r := range s.Results {
+		totalInsts += r.Insts
+		if r.Accelerated > 0 {
+			accelerated++
+		}
+	}
+	fmt.Fprintf(&sb, "fuzz: %d seeds, mix %s\n", len(s.Results), s.Mix)
+	fmt.Fprintf(&sb, "fuzz: engines: cpu, %s\n", strings.Join(s.Engines, ", "))
+	fmt.Fprintf(&sb, "fuzz: %d insts generated, %d/%d seeds accelerated on ≥1 engine\n",
+		totalInsts, accelerated, len(s.Results))
+	if s.Mismatches == 0 {
+		fmt.Fprintf(&sb, "fuzz: PASS — no divergence on any seed\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "fuzz: FAIL — %d/%d seeds diverged\n", s.Mismatches, len(s.Results))
+	for _, r := range s.Results {
+		if r.Mismatch == "" {
+			continue
+		}
+		fmt.Fprintf(&sb, "\nseed %d (%d insts): %s\n", r.Seed, r.Insts, r.Mismatch)
+		if r.Minimized != "" {
+			fmt.Fprintf(&sb, "minimized to %d insts:\n%s", r.MinimizedInsts, r.Minimized)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mesa/internal/genkern"
+)
+
+// TestFuzzSweepDeterministic: the rendered fuzz report is byte-identical
+// across worker counts, clean on the default mix, and seed-ordered.
+func TestFuzzSweepDeterministic(t *testing.T) {
+	defer SetWorkers(Workers())
+
+	opts := FuzzOptions{Seeds: 8, FirstSeed: 3, Mix: genkern.DefaultMix()}
+	SetWorkers(1)
+	serial, err := FuzzSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetWorkers(8)
+	wide, err := FuzzSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := RenderFuzz(wide), RenderFuzz(serial); got != want {
+		t.Errorf("report differs across worker counts:\n-- serial --\n%s\n-- wide --\n%s", want, got)
+	}
+	if serial.Mismatches != 0 {
+		t.Fatalf("default mix diverged:\n%s", RenderFuzz(serial))
+	}
+	for i, r := range serial.Results {
+		if r.Seed != opts.FirstSeed+int64(i) {
+			t.Fatalf("result %d carries seed %d, want %d", i, r.Seed, opts.FirstSeed+int64(i))
+		}
+		if r.Engines == 0 {
+			t.Fatalf("seed %d checked zero engines", r.Seed)
+		}
+	}
+	if !strings.Contains(RenderFuzz(serial), "PASS") {
+		t.Errorf("clean sweep should render PASS:\n%s", RenderFuzz(serial))
+	}
+}

@@ -1,0 +1,434 @@
+// Package genkern generates seeded, mix-controlled RV32IMF loop-body
+// programs and differentially checks them across every execution engine in
+// the reproduction: the functional interpreter (the oracle), the CPU timing
+// model, and the MESA controller under every registered mapping strategy on
+// both spatial and time-shared backends.
+//
+// It is the repository's answer to the thin-suite problem: the 17 built-in
+// kernels exercise the shapes their authors thought of, while genkern turns
+// the suite into an unbounded one. The package is surfaced three ways — the
+// Go native fuzz targets in this package and in internal/alu and
+// internal/isa, the promoted differential test in internal/core, and the
+// `mesabench fuzz` subcommand.
+package genkern
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mesa/internal/asm"
+	"mesa/internal/isa"
+	"mesa/internal/mem"
+)
+
+// ScratchBase is the base of the 512-word scratch array every generated
+// program loads from and stores to (the same region the built-in kernels use
+// for ArrA, so detector address heuristics see familiar traffic).
+const ScratchBase uint32 = 0x0010_0000
+
+// scratchWords is the size of the initialized scratch region.
+const scratchWords = 512
+
+// dataBase is where the data pointer (A0) points: body loads/stores address
+// A0+[0,128), and the FP live-ins are loaded from the first slots.
+const dataBase = ScratchBase + 64
+
+// Mix controls the instruction mix of generated loop bodies. Weights are
+// relative: a category with weight 2 is emitted twice as often as one with
+// weight 1. A zero weight disables the category.
+type Mix struct {
+	IntArith int // integer ALU: add/sub/logic/shift/compare, reg-reg and imm
+	MulDiv   int // RV32M: mul/mulh*/div/divu/rem/remu
+	Memory   int // aliasing scratch loads/stores, both int and FP
+	FPArith  int // RV32F: fadd/fsub/fmul/fdiv/fmin/fmax/fsqrt
+	FMA      int // fused multiply-add family
+	Branch   int // nested predicated forward branches
+
+	// Body length range (instructions before predication labels), and the
+	// loop trip-count range.
+	MinBody, MaxBody   int
+	MinIters, MaxIters int
+
+	// FPSpecials seeds the FP live-ins and scratch memory with special
+	// values: NaN payloads, ±0, ±Inf, and denormals. IntSpecials seeds the
+	// integer live-ins with MinInt32/-1/0/1, the div/rem corner operands.
+	FPSpecials  bool
+	IntSpecials bool
+}
+
+// DefaultMix mirrors the historical random differential test in
+// internal/core: compute-leaning with regular memory traffic and occasional
+// predication, tuned so most generated loops pass the detector's C1–C3 gates.
+func DefaultMix() Mix {
+	return Mix{
+		IntArith: 3, MulDiv: 1, Memory: 2, FPArith: 2, FMA: 1, Branch: 1,
+		MinBody: 4, MaxBody: 24, MinIters: 8, MaxIters: 63,
+	}
+}
+
+// FPSpecialMix forces floating-point corner cases: FP-heavy bodies whose
+// live-ins include NaN payloads, signed zeros, infinities, and denormals,
+// with integer live-ins at the div/rem extremes.
+func FPSpecialMix() Mix {
+	m := DefaultMix()
+	m.FPArith, m.FMA, m.MulDiv = 4, 3, 2
+	m.FPSpecials, m.IntSpecials = true, true
+	return m
+}
+
+// presets are the named mixes ParseMix accepts before key=value overrides.
+var presets = map[string]Mix{
+	"default":  DefaultMix(),
+	"specials": FPSpecialMix(),
+}
+
+// ParseMix parses a mix description: an optional preset name ("default",
+// "specials") followed by comma-separated key=value overrides, e.g.
+// "specials,fma=5,branch=0" or "int=3,mem=2,body=4:30". Keys: int, muldiv,
+// mem, fp, fma, branch (weights); body=min:max, iters=min:max (ranges);
+// fpspecials, intspecials (booleans, bare key means true). An empty string
+// is the default mix.
+func ParseMix(s string) (Mix, error) {
+	m := DefaultMix()
+	for i, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if p, ok := presets[part]; ok {
+			if i != 0 {
+				return m, fmt.Errorf("genkern: preset %q must come first in mix %q", part, s)
+			}
+			m = p
+			continue
+		}
+		key, val, hasVal := strings.Cut(part, "=")
+		switch key {
+		case "int", "muldiv", "mem", "fp", "fma", "branch":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return m, fmt.Errorf("genkern: bad weight %q in mix", part)
+			}
+			switch key {
+			case "int":
+				m.IntArith = n
+			case "muldiv":
+				m.MulDiv = n
+			case "mem":
+				m.Memory = n
+			case "fp":
+				m.FPArith = n
+			case "fma":
+				m.FMA = n
+			case "branch":
+				m.Branch = n
+			}
+		case "body", "iters":
+			lo, hi, ok := strings.Cut(val, ":")
+			a, err1 := strconv.Atoi(lo)
+			b, err2 := strconv.Atoi(hi)
+			if !ok || err1 != nil || err2 != nil || a < 1 || b < a {
+				return m, fmt.Errorf("genkern: bad range %q in mix (want key=min:max)", part)
+			}
+			if key == "body" {
+				m.MinBody, m.MaxBody = a, b
+			} else {
+				m.MinIters, m.MaxIters = a, b
+			}
+		case "fpspecials", "intspecials":
+			v := true
+			if hasVal {
+				b, err := strconv.ParseBool(val)
+				if err != nil {
+					return m, fmt.Errorf("genkern: bad boolean %q in mix", part)
+				}
+				v = b
+			}
+			if key == "fpspecials" {
+				m.FPSpecials = v
+			} else {
+				m.IntSpecials = v
+			}
+		default:
+			keys := make([]string, 0, len(presets))
+			for k := range presets {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			return m, fmt.Errorf("genkern: unknown mix key %q (presets: %s; keys: int, muldiv, mem, fp, fma, branch, body, iters, fpspecials, intspecials)",
+				key, strings.Join(keys, ", "))
+		}
+	}
+	if m.IntArith+m.MulDiv+m.Memory+m.FPArith+m.FMA+m.Branch <= 0 {
+		return m, fmt.Errorf("genkern: mix %q has no positive weights", s)
+	}
+	return m, nil
+}
+
+// String renders the mix in ParseMix syntax.
+func (m Mix) String() string {
+	s := fmt.Sprintf("int=%d,muldiv=%d,mem=%d,fp=%d,fma=%d,branch=%d,body=%d:%d,iters=%d:%d",
+		m.IntArith, m.MulDiv, m.Memory, m.FPArith, m.FMA, m.Branch,
+		m.MinBody, m.MaxBody, m.MinIters, m.MaxIters)
+	if m.FPSpecials {
+		s += ",fpspecials"
+	}
+	if m.IntSpecials {
+		s += ",intspecials"
+	}
+	return s
+}
+
+// Generated is one seeded program plus everything needed to reproduce its
+// run: regenerate with Generate(Seed, Mix), rebuild its memory image with
+// NewMemory.
+type Generated struct {
+	Seed int64
+	Mix  Mix
+	Prog *isa.Program
+}
+
+// Register pools: t0/t1 are the induction counter and bound, a0 the data
+// pointer; the rest are free data registers.
+var (
+	genIntRegs = []isa.Reg{isa.X8, isa.X9, isa.X18, isa.X19, isa.X28, isa.X29, isa.X30, isa.X31}
+	genFPRegs  = []isa.Reg{isa.F0, isa.F1, isa.F2, isa.F3, isa.F4}
+)
+
+// intSpecialValues are the RV32M corner operands IntSpecials seeds live-ins
+// with: MinInt32 and -1 (the div/rem overflow pair), 0 (divide by zero), ±1.
+var intSpecialValues = []uint32{0x80000000, 0xFFFFFFFF, 0, 1, 0x7FFFFFFF}
+
+// fpSpecialValues are the FP bit patterns FPSpecials seeds live-ins with.
+var fpSpecialValues = []uint32{
+	0x7FC00000, // canonical quiet NaN
+	0x7FC12345, // quiet NaN with payload
+	0x7F800001, // signaling NaN
+	0x00000000, // +0
+	0x80000000, // -0
+	0x7F800000, // +inf
+	0xFF800000, // -inf
+	0x00000001, // smallest positive denormal
+	0x007FFFFF, // largest denormal
+	0x80000001, // negative denormal
+	0x3F800000, // 1.0
+	0xBF800000, // -1.0
+}
+
+type genCat int
+
+const (
+	catIntArith genCat = iota
+	catMulDiv
+	catMemory
+	catFPArith
+	catFMA
+	catBranch
+)
+
+// Generate builds the program for (seed, mix). The same inputs always
+// produce byte-identical programs; any (seed, mix) pair is valid.
+func Generate(seed int64, m Mix) (*Generated, error) {
+	if m.MaxBody < m.MinBody || m.MinBody < 1 {
+		return nil, fmt.Errorf("genkern: invalid body range %d:%d", m.MinBody, m.MaxBody)
+	}
+	if m.MaxIters < m.MinIters || m.MinIters < 1 {
+		return nil, fmt.Errorf("genkern: invalid iteration range %d:%d", m.MinIters, m.MaxIters)
+	}
+	var cats []genCat
+	add := func(c genCat, w int) {
+		for i := 0; i < w; i++ {
+			cats = append(cats, c)
+		}
+	}
+	add(catIntArith, m.IntArith)
+	add(catMulDiv, m.MulDiv)
+	add(catMemory, m.Memory)
+	add(catFPArith, m.FPArith)
+	add(catFMA, m.FMA)
+	add(catBranch, m.Branch)
+	if len(cats) == 0 {
+		return nil, fmt.Errorf("genkern: mix has no positive weights")
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	pickInt := func() isa.Reg { return genIntRegs[rng.Intn(len(genIntRegs))] }
+	pickFP := func() isa.Reg { return genFPRegs[rng.Intn(len(genFPRegs))] }
+
+	b := asm.NewBuilder(0x1000)
+	// Prelude: seed the integer data registers.
+	for _, r := range genIntRegs {
+		if m.IntSpecials && rng.Intn(3) == 0 {
+			b.LI(r, int32(intSpecialValues[rng.Intn(len(intSpecialValues))]))
+		} else {
+			b.LI(r, int32(rng.Uint32()))
+		}
+	}
+	b.LI(isa.RegA0, int32(dataBase))
+	b.LI(isa.RegT0, 0)
+	b.LI(isa.RegT1, int32(m.MinIters+rng.Intn(m.MaxIters-m.MinIters+1)))
+	// FP live-ins come from scratch memory (NewMemory controls the bit
+	// patterns there — FPSpecials plants NaNs/zeros/infs/denormals).
+	for i, r := range genFPRegs {
+		b.FLW(r, int32(4*i), isa.RegA0)
+	}
+	b.Label("loop")
+
+	bodyLen := m.MinBody + rng.Intn(m.MaxBody-m.MinBody+1)
+	// Forward branches open predication shadows; keep them nested (the
+	// hardware handles nested predication, not overlapping shadows).
+	type shadow struct{ end int }
+	var open []shadow
+	labelN := 0
+	pending := map[int][]string{} // body index -> labels to place before it
+
+	for i := 0; i < bodyLen; i++ {
+		for _, lbl := range pending[i] {
+			b.Label(lbl)
+		}
+		delete(pending, i)
+		for len(open) > 0 && open[len(open)-1].end <= i {
+			open = open[:len(open)-1]
+		}
+
+		switch cats[rng.Intn(len(cats))] {
+		case catIntArith:
+			switch rng.Intn(4) {
+			case 0:
+				ops := []func(rd, rs1, rs2 isa.Reg) *asm.Builder{
+					b.ADD, b.SUB, b.XOR, b.OR, b.AND, b.SLL, b.SRL, b.SRA, b.SLT, b.SLTU,
+				}
+				ops[rng.Intn(len(ops))](pickInt(), pickInt(), pickInt())
+			case 1:
+				b.ADDI(pickInt(), pickInt(), int32(rng.Intn(2048)-1024))
+			case 2:
+				shifts := []func(rd, rs1 isa.Reg, sh int32) *asm.Builder{b.SLLI, b.SRLI, b.SRAI}
+				shifts[rng.Intn(len(shifts))](pickInt(), pickInt(), int32(rng.Intn(31)))
+			case 3:
+				b.SLTI(pickInt(), pickInt(), int32(rng.Intn(2048)-1024))
+			}
+		case catMulDiv:
+			ops := []func(rd, rs1, rs2 isa.Reg) *asm.Builder{
+				b.MUL, b.MULH, b.MULHU, b.MULHSU, b.DIV, b.DIVU, b.REM, b.REMU,
+			}
+			ops[rng.Intn(len(ops))](pickInt(), pickInt(), pickInt())
+		case catMemory:
+			// Random offsets into a shared window: exercises memory
+			// disambiguation and store-to-load forwarding via aliasing.
+			off := int32(4 * rng.Intn(32))
+			switch rng.Intn(4) {
+			case 0:
+				b.LW(pickInt(), off, isa.RegA0)
+			case 1:
+				b.SW(pickInt(), off, isa.RegA0)
+			case 2:
+				b.FLW(pickFP(), off, isa.RegA0)
+			case 3:
+				b.FSW(pickFP(), off, isa.RegA0)
+			}
+		case catFPArith:
+			switch rng.Intn(7) {
+			case 0:
+				b.FADD(pickFP(), pickFP(), pickFP())
+			case 1:
+				b.FSUB(pickFP(), pickFP(), pickFP())
+			case 2:
+				b.FMUL(pickFP(), pickFP(), pickFP())
+			case 3:
+				b.FDIV(pickFP(), pickFP(), pickFP())
+			case 4:
+				b.FMIN(pickFP(), pickFP(), pickFP())
+			case 5:
+				b.FMAX(pickFP(), pickFP(), pickFP())
+			case 6:
+				b.FSQRT(pickFP(), pickFP())
+			}
+		case catFMA:
+			ops := []func(rd, rs1, rs2, rs3 isa.Reg) *asm.Builder{
+				b.FMADD, b.FMSUB, b.FNMADD, b.FNMSUB,
+			}
+			ops[rng.Intn(len(ops))](pickFP(), pickFP(), pickFP(), pickFP())
+		case catBranch:
+			maxEnd := bodyLen
+			if len(open) > 0 && open[len(open)-1].end < maxEnd {
+				maxEnd = open[len(open)-1].end
+			}
+			if maxEnd <= i+2 {
+				b.NOP()
+				break
+			}
+			end := i + 2 + rng.Intn(maxEnd-i-2)
+			labelN++
+			lbl := "skip" + string(rune('a'+labelN%26)) + string(rune('0'+labelN/26))
+			if rng.Intn(2) == 0 {
+				b.BEQ(pickInt(), pickInt(), lbl)
+			} else {
+				b.BLT(pickInt(), pickInt(), lbl)
+			}
+			pending[end] = append(pending[end], lbl)
+			open = append(open, shadow{end: end})
+		}
+	}
+	// Close any labels still pending at or past the body end. Iterate in
+	// index order so label placement is deterministic.
+	var ends []int
+	for e := range pending {
+		ends = append(ends, e)
+	}
+	sort.Ints(ends)
+	for _, e := range ends {
+		for _, lbl := range pending[e] {
+			b.Label(lbl)
+		}
+	}
+
+	b.ADDI(isa.RegT0, isa.RegT0, 1)
+	b.BLT(isa.RegT0, isa.RegT1, "loop")
+	// Publish register state through memory so memory comparison alone
+	// catches most divergences (registers are also compared directly).
+	b.SW(isa.X8, 0, isa.RegA0)
+	b.ECALL()
+
+	prog, err := b.Program()
+	if err != nil {
+		return nil, fmt.Errorf("genkern: seed %d: %w", seed, err)
+	}
+	return &Generated{Seed: seed, Mix: m, Prog: prog}, nil
+}
+
+// NewMemory builds the program's initial memory image: 512 scratch words
+// seeded from the program seed, with FP/int special bit patterns planted
+// when the mix asks for them. Each call returns a fresh, identical image.
+func (g *Generated) NewMemory() *mem.Memory {
+	m := mem.NewMemory()
+	rng := rand.New(rand.NewSource(g.Seed * 31))
+	for i := uint32(0); i < scratchWords; i++ {
+		m.StoreWord(ScratchBase+4*i, rng.Uint32())
+	}
+	if g.Mix.FPSpecials {
+		// The FP live-in slots (read by the prelude FLWs) always hold
+		// specials; more are sprinkled through the load/store window.
+		for i := range genFPRegs {
+			m.StoreWord(dataBase+4*uint32(i), fpSpecialValues[rng.Intn(len(fpSpecialValues))])
+		}
+		for i := 0; i < 24; i++ {
+			m.StoreWord(dataBase+4*uint32(rng.Intn(32)), fpSpecialValues[rng.Intn(len(fpSpecialValues))])
+		}
+	}
+	return m
+}
+
+// Dump renders the program one instruction per line, for failure reports.
+func (g *Generated) Dump() string { return DumpProgram(g.Prog) }
+
+// DumpProgram renders any program one instruction per line.
+func DumpProgram(p *isa.Program) string {
+	var sb strings.Builder
+	for _, in := range p.Insts {
+		fmt.Fprintf(&sb, "%#06x  %s\n", in.Addr, in.String())
+	}
+	return sb.String()
+}

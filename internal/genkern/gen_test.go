@@ -1,0 +1,246 @@
+package genkern
+
+import (
+	"testing"
+
+	"mesa/internal/isa"
+)
+
+// TestGenerateDeterministic: same (seed, mix) → byte-identical program and
+// memory image; different seeds differ.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a, err := Generate(seed, DefaultMix())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := Generate(seed, DefaultMix())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(a.Prog.Insts) != len(b.Prog.Insts) {
+			t.Fatalf("seed %d: lengths differ: %d vs %d", seed, len(a.Prog.Insts), len(b.Prog.Insts))
+		}
+		for i := range a.Prog.Insts {
+			if a.Prog.Insts[i] != b.Prog.Insts[i] {
+				t.Fatalf("seed %d inst %d: %v vs %v", seed, i, a.Prog.Insts[i], b.Prog.Insts[i])
+			}
+		}
+		if !a.NewMemory().Equal(b.NewMemory()) {
+			t.Fatalf("seed %d: memory images differ", seed)
+		}
+	}
+	a, _ := Generate(1, DefaultMix())
+	b, _ := Generate(2, DefaultMix())
+	if len(a.Prog.Insts) == len(b.Prog.Insts) {
+		same := true
+		for i := range a.Prog.Insts {
+			if a.Prog.Insts[i] != b.Prog.Insts[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("seeds 1 and 2 generated identical programs")
+		}
+	}
+}
+
+// TestGeneratedProgramsEncode: every generated instruction round-trips
+// through the machine encoding as a fixed point — the Encode∘Decode
+// canonicalization property checked over real generator output rather than
+// arbitrary words (complements isa.FuzzDecodeEncode).
+func TestGeneratedProgramsEncode(t *testing.T) {
+	mixes := []Mix{DefaultMix(), FPSpecialMix()}
+	for seed := int64(0); seed < 50; seed++ {
+		for _, m := range mixes {
+			g, err := Generate(seed, m)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			for i, in := range g.Prog.Insts {
+				w, err := isa.Encode(in)
+				if err != nil {
+					t.Fatalf("seed %d inst %d (%v): %v", seed, i, in, err)
+				}
+				dec, err := isa.Decode(w)
+				if err != nil {
+					t.Fatalf("seed %d inst %d: %#08x does not decode: %v", seed, i, w, err)
+				}
+				w2, err := isa.Encode(dec)
+				if err != nil {
+					t.Fatalf("seed %d inst %d: re-encode: %v", seed, i, err)
+				}
+				if w2 != w {
+					t.Fatalf("seed %d inst %d (%v): Encode∘Decode not a fixed point: %#08x -> %#08x",
+						seed, i, in, w, w2)
+				}
+			}
+		}
+	}
+}
+
+// TestMixWeights: a zero weight really disables the category, and the
+// specials mix plants special bit patterns in the FP live-in slots.
+func TestMixWeights(t *testing.T) {
+	m := DefaultMix()
+	m.FPArith, m.FMA, m.Memory = 0, 0, 0
+	for seed := int64(0); seed < 10; seed++ {
+		g, err := Generate(seed, m)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		loopAddr, ok := g.Prog.Symbols["loop"]
+		if !ok {
+			t.Fatalf("seed %d: no loop symbol", seed)
+		}
+		for _, in := range g.Prog.Insts {
+			if in.Addr < loopAddr { // skip prelude (live-in LIs and FLWs)
+				continue
+			}
+			switch in.Op {
+			case isa.OpFADDS, isa.OpFSUBS, isa.OpFMULS, isa.OpFDIVS, isa.OpFMINS,
+				isa.OpFMAXS, isa.OpFSQRTS, isa.OpFMADDS, isa.OpFMSUBS,
+				isa.OpFNMADDS, isa.OpFNMSUBS:
+				t.Fatalf("seed %d: FP op %v with zero fp/fma weights", seed, in.Op)
+			case isa.OpLW, isa.OpFLW:
+				t.Fatalf("seed %d: body load %v with zero mem weight", seed, in.Op)
+			}
+		}
+	}
+
+	g, err := Generate(7, FPSpecialMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := g.NewMemory()
+	specials := 0
+	for i := 0; i < len(genFPRegs); i++ {
+		w := mem.LoadWord(dataBase + uint32(4*i))
+		for _, s := range fpSpecialValues {
+			if w == s {
+				specials++
+				break
+			}
+		}
+	}
+	if specials != len(genFPRegs) {
+		t.Errorf("specials mix planted %d/%d special FP live-ins", specials, len(genFPRegs))
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	cases := []struct {
+		in   string
+		ok   bool
+		want func(Mix) bool
+	}{
+		{"", true, func(m Mix) bool { return m == DefaultMix() }},
+		{"default", true, func(m Mix) bool { return m == DefaultMix() }},
+		{"specials", true, func(m Mix) bool { return m.FPSpecials && m.IntSpecials }},
+		{"fma=5,branch=0", true, func(m Mix) bool { return m.FMA == 5 && m.Branch == 0 }},
+		{"specials,fp=9", true, func(m Mix) bool { return m.FPSpecials && m.FPArith == 9 }},
+		{"body=4:30,iters=2:5", true, func(m Mix) bool {
+			return m.MinBody == 4 && m.MaxBody == 30 && m.MinIters == 2 && m.MaxIters == 5
+		}},
+		{"fpspecials", true, func(m Mix) bool { return m.FPSpecials && !m.IntSpecials }},
+		{"fpspecials=false", true, func(m Mix) bool { return !m.FPSpecials }},
+		{"bogus=1", false, nil},
+		{"int=-1", false, nil},
+		{"body=9:2", false, nil},
+		{"fp=default", false, nil},
+		{"int=0,muldiv=0,mem=0,fp=0,fma=0,branch=0", false, nil},
+		{"fma=1,specials", false, nil}, // preset must come first
+	}
+	for _, c := range cases {
+		m, err := ParseMix(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseMix(%q): err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && !c.want(m) {
+			t.Errorf("ParseMix(%q) = %+v fails predicate", c.in, m)
+		}
+	}
+	// String() round-trips through ParseMix.
+	orig := FPSpecialMix()
+	back, err := ParseMix(orig.String())
+	if err != nil {
+		t.Fatalf("ParseMix(String()): %v", err)
+	}
+	if back != orig {
+		t.Errorf("String round trip: %+v != %+v", back, orig)
+	}
+}
+
+// TestMinimize: ddmin shrinks a program to the failure-relevant core. The
+// synthetic predicate fails whenever a marker instruction survives; the
+// minimizer must strip everything else (modulo dangling-branch validity).
+func TestMinimize(t *testing.T) {
+	g, err := Generate(3, DefaultMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	marker := func(in isa.Inst) bool { return in.Op == isa.OpMULHU }
+	// Plant a marker if this seed has none.
+	prog := g.Prog
+	hasMarker := false
+	for _, in := range prog.Insts {
+		if marker(in) {
+			hasMarker = true
+			break
+		}
+	}
+	if !hasMarker {
+		insts := append([]isa.Inst(nil), prog.Insts...)
+		mid := len(insts) / 2
+		ni := isa.Inst{Op: isa.OpMULHU, Rd: isa.X8, Rs1: isa.X9, Rs2: isa.X8}
+		insts = append(insts[:mid], append([]isa.Inst{ni}, insts[mid:]...)...)
+		// Re-fix branch targets crossing the insertion point.
+		for i := range insts {
+			in := &insts[i]
+			in.Addr = prog.Base + uint32(4*i)
+			if in.IsBranch() || in.Op == isa.OpJAL {
+				oi := i
+				if i > mid {
+					oi = i - 1
+				}
+				target := oi + int(in.Imm/4)
+				if target >= mid {
+					target++
+				}
+				in.Imm = int32(4 * (target - i))
+			}
+		}
+		prog = &isa.Program{Base: prog.Base, Insts: insts}
+	}
+
+	fails := func(p *isa.Program) bool {
+		for _, in := range p.Insts {
+			if marker(in) {
+				return true
+			}
+		}
+		return false
+	}
+	small := Minimize(prog, fails, 0)
+	if !fails(small) {
+		t.Fatal("minimized program no longer fails")
+	}
+	if len(small.Insts) >= len(prog.Insts) {
+		t.Fatalf("minimizer removed nothing: %d -> %d insts", len(prog.Insts), len(small.Insts))
+	}
+	if len(small.Insts) > 3 {
+		t.Errorf("expected near-singleton result, got %d instructions:\n%s",
+			len(small.Insts), DumpProgram(small))
+	}
+	// The result must still be encodable with consistent addresses.
+	for i, in := range small.Insts {
+		if in.Addr != small.Base+uint32(4*i) {
+			t.Errorf("inst %d: addr %#x inconsistent", i, in.Addr)
+		}
+		if _, err := isa.Encode(in); err != nil {
+			t.Errorf("inst %d does not encode: %v", i, err)
+		}
+	}
+}

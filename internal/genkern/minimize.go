@@ -1,0 +1,122 @@
+package genkern
+
+import (
+	"mesa/internal/isa"
+)
+
+// Minimize shrinks a failing program with delta debugging (ddmin over the
+// instruction list), re-fixing branch and jump offsets as instructions drop
+// out. fails must report whether a candidate still exhibits the failure; it
+// is called at most maxChecks times (0 means a generous default). Candidates
+// whose control flow would dangle (a branch whose target was removed) or
+// that no longer encode are never passed to fails.
+//
+// The result always satisfies fails; if nothing can be removed the original
+// program is returned unchanged.
+func Minimize(prog *isa.Program, fails func(*isa.Program) bool, maxChecks int) *isa.Program {
+	if maxChecks <= 0 {
+		maxChecks = 2000
+	}
+	checks := 0
+	try := func(keep []int) (*isa.Program, bool) {
+		if checks >= maxChecks {
+			return nil, false
+		}
+		cand, ok := rebuild(prog, keep)
+		if !ok {
+			return nil, false
+		}
+		checks++
+		return cand, fails(cand)
+	}
+
+	keep := make([]int, len(prog.Insts))
+	for i := range keep {
+		keep[i] = i
+	}
+	best := prog
+
+	n := 2
+	for len(keep) >= 2 && n <= len(keep) {
+		chunk := (len(keep) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(keep); start += chunk {
+			end := start + chunk
+			if end > len(keep) {
+				end = len(keep)
+			}
+			// Complement: drop keep[start:end].
+			comp := make([]int, 0, len(keep)-(end-start))
+			comp = append(comp, keep[:start]...)
+			comp = append(comp, keep[end:]...)
+			if cand, bad := try(comp); bad {
+				keep = comp
+				best = cand
+				n = max2(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if checks >= maxChecks {
+			break
+		}
+		if !reduced {
+			if n == len(keep) {
+				break
+			}
+			n = min2(n*2, len(keep))
+		}
+	}
+	return best
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// rebuild constructs the subset program keeping the instructions at the
+// given (sorted) original indices. Branch/JAL immediates are re-derived from
+// the retained targets; the candidate is rejected if any control transfer
+// targets a removed instruction or falls outside the program, or if any
+// instruction no longer encodes.
+func rebuild(orig *isa.Program, keep []int) (*isa.Program, bool) {
+	newIdx := make(map[int]int, len(keep))
+	for ni, oi := range keep {
+		newIdx[oi] = ni
+	}
+	insts := make([]isa.Inst, len(keep))
+	for ni, oi := range keep {
+		in := orig.Insts[oi]
+		if in.IsBranch() || in.Op == isa.OpJAL {
+			targetOld := oi + int(in.Imm/4)
+			// A branch may target one past the last instruction only if that
+			// address stays in bounds of the new program; otherwise require a
+			// retained target.
+			tn, ok := newIdx[targetOld]
+			if !ok {
+				if targetOld == len(orig.Insts) {
+					tn = len(keep)
+				} else {
+					return nil, false
+				}
+			}
+			in.Imm = int32(4 * (tn - ni))
+		}
+		in.Addr = orig.Base + uint32(4*ni)
+		insts[ni] = in
+		if _, err := isa.Encode(in); err != nil {
+			return nil, false
+		}
+	}
+	return &isa.Program{Base: orig.Base, Insts: insts}, true
+}

@@ -79,6 +79,10 @@ func Hotspot3D() *Kernel {
 		base := plane + w + 1 + lo
 		b.LI(isa.RegA0, int32(ArrA+4*base))   // temperature (center)
 		b.LI(isa.RegA1, int32(ArrOut+4*base)) // out
+		// The cross-plane neighbors sit ±4096 bytes from the center, outside
+		// the 12-bit load-offset range, so they get their own base pointers.
+		b.LI(isa.RegA2, int32(ArrA+4*(base-plane))) // below plane
+		b.LI(isa.RegA3, int32(ArrA+4*(base+plane))) // above plane
 		b.LI(isa.RegT0, int32(lo))
 		b.LI(isa.RegT1, int32(hi))
 		b.LI(isa.RegT2, Scalars)
@@ -86,13 +90,13 @@ func Hotspot3D() *Kernel {
 		b.FLW(isa.FPReg(9), 4, isa.RegT2)  // cn (in-plane neighbors)
 		b.FLW(isa.FPReg(10), 8, isa.RegT2) // ct (cross-plane neighbors)
 		b.Label("loop")
-		b.FLW(isa.FPReg(0), 0, isa.RegA0)        // c
-		b.FLW(isa.FPReg(1), -4, isa.RegA0)       // w
-		b.FLW(isa.FPReg(2), 4, isa.RegA0)        // e
-		b.FLW(isa.FPReg(3), -4*w, isa.RegA0)     // n
-		b.FLW(isa.FPReg(4), 4*w, isa.RegA0)      // s
-		b.FLW(isa.FPReg(5), -4*plane, isa.RegA0) // below
-		b.FLW(isa.FPReg(6), 4*plane, isa.RegA0)  // above
+		b.FLW(isa.FPReg(0), 0, isa.RegA0)    // c
+		b.FLW(isa.FPReg(1), -4, isa.RegA0)   // w
+		b.FLW(isa.FPReg(2), 4, isa.RegA0)    // e
+		b.FLW(isa.FPReg(3), -4*w, isa.RegA0) // n
+		b.FLW(isa.FPReg(4), 4*w, isa.RegA0)  // s
+		b.FLW(isa.FPReg(5), 0, isa.RegA2)    // below
+		b.FLW(isa.FPReg(6), 0, isa.RegA3)    // above
 		b.FADD(isa.FPReg(1), isa.FPReg(1), isa.FPReg(2))
 		b.FADD(isa.FPReg(3), isa.FPReg(3), isa.FPReg(4))
 		b.FADD(isa.FPReg(1), isa.FPReg(1), isa.FPReg(3)) // in-plane sum
@@ -103,6 +107,8 @@ func Hotspot3D() *Kernel {
 		b.FSW(isa.FPReg(7), 0, isa.RegA1)
 		b.ADDI(isa.RegA0, isa.RegA0, 4)
 		b.ADDI(isa.RegA1, isa.RegA1, 4)
+		b.ADDI(isa.RegA2, isa.RegA2, 4)
+		b.ADDI(isa.RegA3, isa.RegA3, 4)
 		b.ADDI(isa.RegT0, isa.RegT0, 1)
 		b.BLT(isa.RegT0, isa.RegT1, "loop")
 		b.ECALL()

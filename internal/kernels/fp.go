@@ -409,7 +409,9 @@ func LUD() *Kernel {
 	verify := func(m *mem.Memory, lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			r := m.LoadF32(ArrB + 4*uint32(i))
-			want := -(r * pivot) + a[i]
+			// FNMSUB is fused: a - p·r cancels catastrophically, so an
+			// unfused float32 recomputation lands outside f32near here.
+			want := float32(math.FMA(-float64(r), float64(pivot), float64(a[i])))
 			if got := m.LoadF32(ArrA + 4*uint32(i)); !f32near(got, want) {
 				return fmt.Errorf("lud: a[%d] = %g, want %g", i, got, want)
 			}
