@@ -5,6 +5,7 @@
 #   make test        # tier-1: go build + go test
 #   make test-race   # the sweep fan-out must be race-clean
 #   make fuzz-smoke  # 10s of each Go fuzz target (differential, FP spec, ISA round-trip)
+#   make mesad-smoke # mesad end-to-end self-test: serve, load-generate, scrape /metrics
 #   make bench       # run the Go benchmarks once with -benchmem (allocation counts)
 #   make bench-json  # write the current performance snapshot to BENCH.json
 #   make bench-check # regression-gate the snapshot against BENCH_baseline.json
@@ -18,9 +19,9 @@ BENCH_TOL ?= 0.02
 # Pinned so every machine lints with the same rule set; bump deliberately.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: ci build vet lint test test-race fuzz-smoke bench bench-json bench-check bench-baseline bench-attrib
+.PHONY: ci build vet lint test test-race fuzz-smoke mesad-smoke bench bench-json bench-check bench-baseline bench-attrib
 
-ci: vet lint test test-race fuzz-smoke bench-check
+ci: vet lint test test-race fuzz-smoke mesad-smoke bench-check
 
 # Prefer a staticcheck already on PATH (matching any version is better than
 # nothing), else fetch the pinned version via `go run`. Offline sandboxes
@@ -56,6 +57,12 @@ fuzz-smoke:
 	$(GO) test ./internal/alu -run '^$$' -fuzz '^FuzzFPSpec$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/isa -run '^$$' -fuzz '^FuzzDecodeEncode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/genkern -run '^$$' -fuzz '^FuzzDifferential$$' -fuzztime $(FUZZTIME)
+
+# End-to-end self-test of the mesad service binary: serve on a loopback
+# port, run the load generator cold and warm (every response byte-compared
+# against the direct library call), scrape /metrics, drain, exit.
+mesad-smoke:
+	$(GO) run ./cmd/mesad -smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' .

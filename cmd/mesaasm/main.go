@@ -20,63 +20,103 @@ import (
 )
 
 func main() {
-	base := flag.Uint64("base", 0x1000, "base address for assembly")
-	disasm := flag.Bool("d", false, "disassemble hex words given as arguments")
-	flag.Parse()
+	// os.Exit skips defers, so the exit code is decided inside realMain and
+	// main is the only caller of os.Exit.
+	os.Exit(realMain(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	if *disasm {
-		if flag.NArg() == 0 {
-			fmt.Fprintln(os.Stderr, "mesaasm: -d requires hex words")
-			os.Exit(2)
+// stickyWriter records the first write error and drops everything after it,
+// so a closed pipe or full disk surfaces as a nonzero exit instead of being
+// silently discarded.
+type stickyWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (s *stickyWriter) Write(p []byte) (int, error) {
+	if s.err != nil {
+		return len(p), nil
+	}
+	if _, err := s.w.Write(p); err != nil {
+		s.err = err
+	}
+	return len(p), nil
+}
+
+// realMain is the testable entry point: bad usage exits 2, runtime and write
+// failures exit 1, success exits 0.
+func realMain(args []string, stdin io.Reader, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("mesaasm", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	base := fs.Uint64("base", 0x1000, "base address for assembly")
+	disasm := fs.Bool("d", false, "disassemble hex words given as arguments")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	w := &stickyWriter{w: out}
+	code := runAsm(fs, *base, *disasm, stdin, w, errw)
+	if code == 0 && w.err != nil {
+		fmt.Fprintln(errw, "mesaasm: write:", w.err)
+		return 1
+	}
+	return code
+}
+
+func runAsm(fs *flag.FlagSet, base uint64, disasm bool, stdin io.Reader, w, errw io.Writer) int {
+	if disasm {
+		if fs.NArg() == 0 {
+			fmt.Fprintln(errw, "mesaasm: -d requires hex words")
+			return 2
 		}
-		for _, arg := range flag.Args() {
+		for _, arg := range fs.Args() {
 			word, err := strconv.ParseUint(arg, 0, 32)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "mesaasm: bad word %q: %v\n", arg, err)
-				os.Exit(1)
+				fmt.Fprintf(errw, "mesaasm: bad word %q: %v\n", arg, err)
+				return 1
 			}
 			in, err := isa.Decode(uint32(word))
 			if err != nil {
-				fmt.Printf("%08x  <unknown: %v>\n", word, err)
+				fmt.Fprintf(w, "%08x  <unknown: %v>\n", word, err)
 				continue
 			}
-			fmt.Printf("%08x  %s\n", word, in)
+			fmt.Fprintf(w, "%08x  %s\n", word, in)
 		}
-		return
+		return 0
 	}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mesaasm [-base addr] <file.s | ->   or   mesaasm -d <words...>")
-		os.Exit(2)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(errw, "usage: mesaasm [-base addr] <file.s | ->   or   mesaasm -d <words...>")
+		return 2
 	}
 	var src []byte
 	var err error
-	if flag.Arg(0) == "-" {
-		src, err = io.ReadAll(os.Stdin)
+	if fs.Arg(0) == "-" {
+		src, err = io.ReadAll(stdin)
 	} else {
-		src, err = os.ReadFile(flag.Arg(0))
+		src, err = os.ReadFile(fs.Arg(0))
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mesaasm:", err)
-		os.Exit(1)
+		fmt.Fprintln(errw, "mesaasm:", err)
+		return 1
 	}
-	prog, err := asm.Assemble(uint32(*base), string(src))
+	prog, err := asm.Assemble(uint32(base), string(src))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mesaasm:", err)
-		os.Exit(1)
+		fmt.Fprintln(errw, "mesaasm:", err)
+		return 1
 	}
 	for _, in := range prog.Insts {
 		word, err := isa.Encode(in)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mesaasm: cannot encode %v: %v\n", in, err)
-			os.Exit(1)
+			fmt.Fprintf(errw, "mesaasm: cannot encode %v: %v\n", in, err)
+			return 1
 		}
-		fmt.Printf("%08x:  %08x  %s\n", in.Addr, word, in)
+		fmt.Fprintf(w, "%08x:  %08x  %s\n", in.Addr, word, in)
 	}
 	if len(prog.Symbols) > 0 {
-		fmt.Println("\nsymbols:")
+		fmt.Fprintln(w, "\nsymbols:")
 		for name, addr := range prog.Symbols {
-			fmt.Printf("  %-16s %08x\n", name, addr)
+			fmt.Fprintf(w, "  %-16s %08x\n", name, addr)
 		}
 	}
+	return 0
 }

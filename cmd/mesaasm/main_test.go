@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// failWriter fails every write after the first n bytes, modeling a closed
+// pipe or full disk.
+type failWriter struct {
+	n int
+}
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+// TestRealMainExitCodes: usage mistakes exit 2, runtime failures exit 1 —
+// all through realMain's normal return path so defers always run (the
+// os.Exit-mid-function bug this replaces).
+func TestRealMainExitCodes(t *testing.T) {
+	srcFile := filepath.Join(t.TempDir(), "loop.s")
+	if err := os.WriteFile(srcFile, []byte("add x5, x6, x7\naddi x5, x5, -1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		args  []string
+		stdin string
+		code  int
+		frag  string // on stderr
+		want  string // on stdout
+	}{
+		{"assemble file", []string{srcFile}, "", 0, "", "add"},
+		{"assemble stdin", []string{"-"}, "mul x5, x6, x7\n", 0, "", "mul"},
+		{"disassemble", []string{"-d", "0x007302b3"}, "", 0, "", "add"},
+		{"disassemble unknown word", []string{"-d", "0xffffffff"}, "", 0, "", "<unknown"},
+		{"bad flag", []string{"-no-such-flag"}, "", 2, "flag provided but not defined", ""},
+		{"no input", []string{}, "", 2, "usage:", ""},
+		{"two inputs", []string{srcFile, srcFile}, "", 2, "usage:", ""},
+		{"-d without words", []string{"-d"}, "", 2, "requires hex words", ""},
+		{"-d bad word", []string{"-d", "zzz"}, "", 1, "bad word", ""},
+		{"missing file", []string{filepath.Join(t.TempDir(), "nope.s")}, "", 1, "no such file", ""},
+		{"bad assembly", []string{"-"}, "frobnicate x1, x2\n", 1, "frobnicate", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			code := realMain(tc.args, strings.NewReader(tc.stdin), &out, &errw)
+			if code != tc.code {
+				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.code, errw.String())
+			}
+			if tc.frag != "" && !strings.Contains(errw.String(), tc.frag) {
+				t.Errorf("stderr %q missing %q", errw.String(), tc.frag)
+			}
+			if tc.want != "" && !strings.Contains(out.String(), tc.want) {
+				t.Errorf("stdout %q missing %q", out.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestRealMainWriteFailure: a failing stdout must surface as exit 1 with a
+// diagnostic, not a silent 0.
+func TestRealMainWriteFailure(t *testing.T) {
+	var errw bytes.Buffer
+	code := realMain([]string{"-d", "0x007302b3", "0x00a28293"},
+		strings.NewReader(""), &failWriter{n: 4}, &errw)
+	if code != 1 {
+		t.Errorf("exit code with failing writer = %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "write") {
+		t.Errorf("stderr %q does not report the write failure", errw.String())
+	}
+}

@@ -1,0 +1,219 @@
+// Command mesad is the MESA simulation service: a long-running HTTP/JSON
+// server that accepts a named kernel (or raw RV32IMF program words), an
+// accelerator backend, and a placement strategy, and returns the
+// accelerated-loop result plus the bottleneck-attribution report.
+//
+// Usage:
+//
+//	mesad                           # serve on :8177
+//	mesad -addr 127.0.0.1:9000      # explicit listen address
+//	mesad -parallel 8               # admit at most 8 concurrent simulations
+//	mesad -cache-size 1024          # bound the in-memory result LRU
+//	mesad -cache-dir /var/mesa      # persist warm results across restarts
+//	mesad -mapper congestion        # default placement strategy
+//	mesad -smoke                    # self-test: serve, load-generate, scrape /metrics, exit
+//
+// Endpoints:
+//
+//	POST /v1/simulate   {"kernel":"nn","backend":"M-128","mapper":"greedy"}
+//	                    or {"program":{"base":4096,"words":[...]}}
+//	GET  /v1/kernels    list the built-in kernels
+//	GET  /metrics       every counter surface (server, pool, sim cache) as JSON
+//	GET  /healthz       liveness
+//
+// SIGINT/SIGTERM drain gracefully: in-flight simulations finish, new
+// requests are refused with 503.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mesa/internal/experiments"
+	"mesa/internal/mapping"
+	"mesa/internal/server"
+)
+
+// options collects the parsed command line.
+type options struct {
+	addr      string
+	parallel  int
+	cacheSize int
+	cacheDir  string
+	mapper    string
+	smoke     bool
+}
+
+func main() {
+	// os.Exit skips defers and the listener/teardown must run on every
+	// path, so the exit code is decided inside realMain.
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("mesad", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var o options
+	fs.StringVar(&o.addr, "addr", ":8177", "listen address")
+	fs.IntVar(&o.parallel, "parallel", 0, "max concurrent simulations (0 = GOMAXPROCS); also sizes the sweep worker pool")
+	fs.IntVar(&o.cacheSize, "cache-size", experiments.DefaultSimMemoCapacity,
+		"bound on the in-memory simulation-result LRU (0 = unbounded)")
+	fs.StringVar(&o.cacheDir, "cache-dir", "",
+		"content-addressed on-disk result store; warm results survive restarts (empty = memory only)")
+	fs.StringVar(&o.mapper, "mapper", mapping.Default().Name(),
+		"default placement strategy ("+strings.Join(mapping.Names(), ", ")+")")
+	fs.BoolVar(&o.smoke, "smoke", false,
+		"self-test: serve on a loopback port, run the load generator, scrape /metrics, exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(errw, "mesad: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return 2
+	}
+	if _, err := mapping.ByName(o.mapper); err != nil {
+		fmt.Fprintln(errw, "mesad:", err)
+		return 2
+	}
+	if o.parallel < 0 {
+		fmt.Fprintf(errw, "mesad: invalid -parallel %d\n", o.parallel)
+		return 2
+	}
+	experiments.SetWorkers(o.parallel)
+	experiments.SetSimMemoCapacity(o.cacheSize)
+
+	var store *experiments.DiskStore
+	if o.cacheDir != "" {
+		if err := experiments.SetSimMemoDir(o.cacheDir); err != nil {
+			fmt.Fprintln(errw, "mesad:", err)
+			return 1
+		}
+		var err error
+		store, err = experiments.OpenDiskStore(o.cacheDir)
+		if err != nil {
+			fmt.Fprintln(errw, "mesad:", err)
+			return 1
+		}
+	}
+
+	srv := server.New(server.Config{
+		DefaultMapper: o.mapper,
+		Admission:     o.parallel,
+		Store:         store,
+	})
+
+	addr := o.addr
+	if o.smoke {
+		addr = "127.0.0.1:0" // never fight over a port in CI
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(errw, "mesad:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	if o.smoke {
+		return runSmoke(srv, httpSrv, ln, out, errw)
+	}
+
+	// Serve until a signal, then drain: in-flight requests finish, new ones
+	// are refused with 503.
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(out, "mesad: serving on %s (mapper %s, cache %d entries", ln.Addr(), o.mapper, o.cacheSize)
+	if o.cacheDir != "" {
+		fmt.Fprintf(out, ", disk store %s", o.cacheDir)
+	}
+	fmt.Fprintln(out, ")")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(errw, "mesad:", err)
+			return 1
+		}
+	case s := <-sig:
+		fmt.Fprintf(out, "mesad: %v, draining\n", s)
+		srv.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(errw, "mesad:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// runSmoke is the -smoke self-test: serve on a loopback port, run the load
+// generator twice (cold then warm — warm must be all cache hits), scrape
+// /metrics, shut down gracefully. A small kernel subset keeps the smoke
+// brief; the full 17×3 matrix runs in the server package's tests.
+func runSmoke(srv *server.Server, httpSrv *http.Server, ln net.Listener, out, errw io.Writer) int {
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(out, "mesad: smoke serving on %s\n", base)
+
+	client := &http.Client{Timeout: 120 * time.Second}
+	opts := server.LoadOptions{
+		Kernels: []string{"nn", "kmeans", "hotspot"},
+		Clients: 4,
+	}
+	for _, label := range []string{"cold", "warm"} {
+		stats, err := server.LoadGen(client, base, srv, opts)
+		if err != nil {
+			fmt.Fprintf(errw, "mesad: smoke %s pass: %v\n", label, err)
+			return 1
+		}
+		fmt.Fprintf(out, "mesad: smoke %s pass: %d requests, %d mismatches\n",
+			label, stats.Requests, stats.Mismatches)
+	}
+
+	metrics, err := client.Get(base + "/metrics")
+	if err != nil {
+		fmt.Fprintln(errw, "mesad: smoke /metrics:", err)
+		return 1
+	}
+	body, err := io.ReadAll(metrics.Body)
+	metrics.Body.Close()
+	if err != nil || metrics.StatusCode != http.StatusOK {
+		fmt.Fprintf(errw, "mesad: smoke /metrics: status %d err %v\n", metrics.StatusCode, err)
+		return 1
+	}
+	for _, want := range []string{"sim_cache_hits", "admitted", "experiments.pool"} {
+		if !strings.Contains(string(body), want) {
+			fmt.Fprintf(errw, "mesad: smoke /metrics missing %q:\n%s\n", want, body)
+			return 1
+		}
+	}
+	fmt.Fprintf(out, "mesad: smoke /metrics ok (%d bytes)\n", len(body))
+
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(errw, "mesad:", err)
+		return 1
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(errw, "mesad:", err)
+		return 1
+	}
+	fmt.Fprintln(out, "mesad: smoke ok")
+	return 0
+}

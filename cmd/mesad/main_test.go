@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mesa/internal/experiments"
+)
+
+// TestRealMainBadFlags: every command-line mistake exits 2 with a diagnostic
+// on stderr, through realMain's normal return path (defers run; nothing
+// os.Exits mid-function).
+func TestRealMainBadFlags(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		frag string
+	}{
+		{"unknown flag", []string{"-no-such-flag"}, "flag provided but not defined"},
+		{"unexpected argument", []string{"extra"}, "unexpected argument"},
+		{"unknown mapper", []string{"-mapper", "quantum"}, "quantum"},
+		{"negative parallel", []string{"-parallel", "-3"}, "invalid -parallel"},
+		{"non-integer cache size", []string{"-cache-size", "many"}, "invalid value"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			if code := realMain(tc.args, &out, &errw); code != 2 {
+				t.Errorf("exit code = %d, want 2 (stderr: %s)", code, errw.String())
+			}
+			if !strings.Contains(errw.String(), tc.frag) {
+				t.Errorf("stderr %q does not mention %q", errw.String(), tc.frag)
+			}
+		})
+	}
+}
+
+// TestRealMainBadCacheDir: an unusable -cache-dir is an environment failure
+// (exit 1), not a usage error.
+func TestRealMainBadCacheDir(t *testing.T) {
+	defer experiments.SetSimMemoDir("")
+	var out, errw bytes.Buffer
+	// A file in /proc cannot be turned into a directory.
+	code := realMain([]string{"-cache-dir", "/proc/self/cmdline/store"}, &out, &errw)
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 (stderr: %s)", code, errw.String())
+	}
+	if errw.Len() == 0 {
+		t.Error("no diagnostic on stderr")
+	}
+}
+
+// TestRealMainSmoke runs the full -smoke self-test end to end on a loopback
+// port: serve, load-generate cold and warm, scrape /metrics, drain, exit 0.
+func TestRealMainSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end smoke in -short mode")
+	}
+	experiments.ResetSimMemo()
+	defer func() {
+		experiments.SetSimMemoCapacity(experiments.DefaultSimMemoCapacity)
+		experiments.ResetSimMemo()
+	}()
+	var out, errw bytes.Buffer
+	code := realMain([]string{"-smoke", "-cache-dir", t.TempDir()}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("smoke exit code = %d\nstdout: %s\nstderr: %s", code, out.String(), errw.String())
+	}
+	for _, want := range []string{"smoke cold pass", "smoke warm pass", "0 mismatches", "smoke ok"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("smoke output missing %q:\n%s", want, out.String())
+		}
+	}
+}

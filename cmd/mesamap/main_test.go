@@ -1,8 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
-	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,25 +11,6 @@ import (
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files with the current output")
-
-// captureStdout runs f with os.Stdout redirected and returns what it printed.
-func captureStdout(t *testing.T, f func()) string {
-	t.Helper()
-	old := os.Stdout
-	r, w, err := os.Pipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	os.Stdout = w
-	defer func() { os.Stdout = old }()
-	f()
-	w.Close()
-	out, err := io.ReadAll(r)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return string(out)
-}
 
 // TestRunGolden pins the full text output of the translation-pipeline
 // report per strategy. Everything mesamap prints is a deterministic function
@@ -44,11 +26,11 @@ func TestRunGolden(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.file, func(t *testing.T) {
-			out := captureStdout(t, func() {
-				if err := run(tc.kernel, tc.backend, tc.mapper, false); err != nil {
-					t.Fatal(err)
-				}
-			})
+			var buf bytes.Buffer
+			if err := run(&buf, tc.kernel, tc.backend, tc.mapper, false); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
 			golden := filepath.Join("testdata", tc.file+".golden")
 			if *update {
 				if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
@@ -63,12 +45,11 @@ func TestRunGolden(t *testing.T) {
 				t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, out, want)
 			}
 			// The same invocation must reproduce the same bytes.
-			again := captureStdout(t, func() {
-				if err := run(tc.kernel, tc.backend, tc.mapper, false); err != nil {
-					t.Fatal(err)
-				}
-			})
-			if again != out {
+			var again bytes.Buffer
+			if err := run(&again, tc.kernel, tc.backend, tc.mapper, false); err != nil {
+				t.Fatal(err)
+			}
+			if again.String() != out {
 				t.Error("two identical runs printed different output")
 			}
 		})
@@ -78,7 +59,7 @@ func TestRunGolden(t *testing.T) {
 // TestRunUnknownMapper pins the -mapper error message: it names the bad
 // strategy and lists the registered ones.
 func TestRunUnknownMapper(t *testing.T) {
-	err := run("nn", "M-128", "bogus", false)
+	err := run(&bytes.Buffer{}, "nn", "M-128", "bogus", false)
 	if err == nil {
 		t.Fatal("unknown -mapper: no error")
 	}
@@ -92,7 +73,7 @@ func TestRunUnknownMapper(t *testing.T) {
 
 // TestRunUnknownBackend keeps the pre-existing backend error intact.
 func TestRunUnknownBackend(t *testing.T) {
-	err := run("nn", "M-999", "greedy", false)
+	err := run(&bytes.Buffer{}, "nn", "M-999", "greedy", false)
 	if err == nil || !strings.Contains(err.Error(), `unknown backend "M-999"`) {
 		t.Errorf("unknown backend error = %v", err)
 	}
@@ -101,13 +82,69 @@ func TestRunUnknownBackend(t *testing.T) {
 // TestRunDot keeps the DOT path working under every strategy.
 func TestRunDot(t *testing.T) {
 	for _, mapper := range []string{"greedy", "greedy+anneal", "congestion"} {
-		out := captureStdout(t, func() {
-			if err := run("nn", "M-128", mapper, true); err != nil {
-				t.Fatal(err)
+		var buf bytes.Buffer
+		if err := run(&buf, "nn", "M-128", mapper, true); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "digraph") {
+			t.Errorf("%s: -dot output is not a digraph:\n%s", mapper, buf.String())
+		}
+	}
+}
+
+// failWriter fails every write after the first n bytes, modeling a closed
+// pipe or full disk.
+type failWriter struct {
+	n int
+}
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+// TestRealMainExitCodes: usage mistakes exit 2, runtime failures exit 1,
+// write failures exit 1 — all through realMain's normal return path so
+// defers always run (the os.Exit-mid-function bug this replaces).
+func TestRealMainExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		frag string
+	}{
+		{"success", []string{"nn"}, 0, ""},
+		{"bad flag", []string{"-no-such-flag", "nn"}, 2, "flag provided but not defined"},
+		{"missing kernel", []string{}, 2, "usage:"},
+		{"two kernels", []string{"nn", "kmeans"}, 2, "usage:"},
+		{"unknown kernel", []string{"no-such-kernel"}, 1, "no-such-kernel"},
+		{"unknown mapper", []string{"-mapper", "bogus", "nn"}, 1, "bogus"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			if code := realMain(tc.args, &out, &errw); code != tc.code {
+				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.code, errw.String())
+			}
+			if tc.frag != "" && !strings.Contains(errw.String(), tc.frag) {
+				t.Errorf("stderr %q missing %q", errw.String(), tc.frag)
 			}
 		})
-		if !strings.Contains(out, "digraph") {
-			t.Errorf("%s: -dot output is not a digraph:\n%s", mapper, out)
-		}
+	}
+}
+
+// TestRealMainWriteFailure: a failing stdout (closed pipe, full disk) must
+// surface as exit 1 with a diagnostic, not a silent 0.
+func TestRealMainWriteFailure(t *testing.T) {
+	var errw bytes.Buffer
+	code := realMain([]string{"nn"}, &failWriter{n: 16}, &errw)
+	if code != 1 {
+		t.Errorf("exit code with failing writer = %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "write") {
+		t.Errorf("stderr %q does not report the write failure", errw.String())
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -15,103 +16,298 @@ import (
 )
 
 // simMemo is the cross-experiment simulation-result cache: figures, tables,
-// and ablations repeatedly time the same (kernel, configuration) pair, and
-// every such simulation is deterministic — same assembled program, same
-// seeded memory, same config, same result. Entries are keyed by a content
-// hash of the assembled program bytes plus the full timing-relevant
-// configuration fingerprint, so a hit is only possible when the simulation
-// would be bit-for-bit identical.
+// ablations, and mesad requests repeatedly time the same (program,
+// configuration) pair, and every such simulation is deterministic — same
+// assembled program, same seeded memory, same config, same result. Entries
+// are keyed by a content hash of the assembled program bytes plus the full
+// timing-relevant configuration fingerprint, so a hit is only possible when
+// the simulation would be bit-for-bit identical.
 //
 // The cache is single-flight: concurrent requests for the same key run the
 // simulation once and share the result. That makes the hit/miss counters
 // worker-count-invariant (misses = distinct keys, hits = lookups − misses),
 // preserving mesabench's byte-identical `-parallel N` vs `-parallel 1`
-// guarantee even for `-stats` output.
+// guarantee even for `-stats` output — as long as nothing is evicted. The
+// cache is a bounded LRU (a long-running mesad must not grow without bound);
+// once the working set exceeds the capacity, eviction order depends on
+// request scheduling, so `sim_cache_entries` and `sim_cache_evictions` are
+// worker-count-VARIANT and are excluded from byte-identical stats
+// comparisons (see TestStatsWorkerInvariant).
 //
 // Cached values (and the errors of failed simulations) are shared across
 // callers and goroutines: callers must treat them as read-only. Every
 // existing consumer only reads the returned structs; publication via the
 // entry's done channel provides the happens-before edge.
+//
+// An optional on-disk content-addressed store (SetSimMemoDir) persists
+// entries whose kind registered a codec, so warm results survive process
+// restarts and are shared between mesabench and mesad. Disk entries are
+// keyed by the same sha256 fingerprint as in-memory ones.
 type memoCache struct {
 	mu      sync.Mutex
-	entries map[string]*memoEntry
-	hits    uint64
-	misses  uint64
+	entries map[string]*list.Element // key -> element whose Value is *memoEntry
+	lru     *list.List               // front = most recently used
+	cap     int                      // max completed entries; 0 = unbounded
+
+	store *DiskStore
+
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+	diskHits   uint64
+	diskWrites uint64
+	diskErrors uint64
 }
 
 type memoEntry struct {
-	done chan struct{}
-	val  any
-	err  error
+	key      string
+	done     chan struct{}
+	val      any
+	err      error
+	inflight bool // pinned: never evicted while the simulation runs
 }
 
+// DefaultSimMemoCapacity bounds the in-memory cache. The full experiment
+// sweep creates a few hundred distinct entries, so the default never evicts
+// during benchmarking (keeping the hit/miss counters worker-count-invariant)
+// while still bounding a long-running mesad process.
+const DefaultSimMemoCapacity = 4096
+
 var (
-	simMemo     = &memoCache{entries: map[string]*memoEntry{}}
+	simMemo     = newMemoCache(DefaultSimMemoCapacity)
 	memoEnabled atomic.Bool
 )
 
 func init() { memoEnabled.Store(true) }
+
+func newMemoCache(capacity int) *memoCache {
+	return &memoCache{
+		entries: map[string]*list.Element{},
+		lru:     list.New(),
+		cap:     capacity,
+	}
+}
 
 // SetSimMemoEnabled toggles the simulation-result cache (mesabench's
 // `-nocache` escape hatch). Disabling does not clear existing entries;
 // re-enabling resumes using them.
 func SetSimMemoEnabled(on bool) { memoEnabled.Store(on) }
 
-// ResetSimMemo drops all cached results and zeroes the hit/miss counters
-// (tests, and cold/warm differential comparisons).
+// SetSimMemoCapacity bounds the in-memory LRU to n completed entries
+// (n <= 0 selects unbounded) and returns the previous capacity. Shrinking
+// below the current population evicts least-recently-used entries
+// immediately; in-flight simulations are never evicted.
+func SetSimMemoCapacity(n int) int {
+	simMemo.mu.Lock()
+	defer simMemo.mu.Unlock()
+	prev := simMemo.cap
+	if n < 0 {
+		n = 0
+	}
+	simMemo.cap = n
+	simMemo.evictOverLocked()
+	return prev
+}
+
+// SimMemoCapacity returns the current LRU capacity (0 = unbounded).
+func SimMemoCapacity() int {
+	simMemo.mu.Lock()
+	defer simMemo.mu.Unlock()
+	return simMemo.cap
+}
+
+// SetSimMemoDir attaches an on-disk content-addressed store rooted at dir to
+// the cache (creating the directory if needed), so results of disk-codable
+// entry points persist across processes. An empty dir detaches the store.
+func SetSimMemoDir(dir string) error {
+	var st *DiskStore
+	if dir != "" {
+		var err error
+		st, err = OpenDiskStore(dir)
+		if err != nil {
+			return err
+		}
+	}
+	simMemo.mu.Lock()
+	simMemo.store = st
+	simMemo.mu.Unlock()
+	return nil
+}
+
+// ResetSimMemo drops all cached in-memory results and zeroes every counter
+// (tests, and cold/warm differential comparisons). The on-disk store, if
+// attached, is left untouched.
 func ResetSimMemo() {
 	simMemo.mu.Lock()
-	simMemo.entries = map[string]*memoEntry{}
+	simMemo.entries = map[string]*list.Element{}
+	simMemo.lru = list.New()
 	simMemo.hits, simMemo.misses = 0, 0
+	simMemo.evictions = 0
+	simMemo.diskHits, simMemo.diskWrites, simMemo.diskErrors = 0, 0, 0
 	simMemo.mu.Unlock()
 }
 
 // SimMemoMetrics snapshots the cache-effectiveness counters for `-stats`.
-// All values are worker-count-invariant (see the single-flight note above).
+// sim_cache_hits / sim_cache_misses / sim_cache_disk_* are worker-count-
+// invariant as long as nothing is evicted (single-flight makes misses =
+// distinct keys). sim_cache_entries and sim_cache_evictions are NOT: once
+// the LRU is bounded below the working set, which key evicts which depends
+// on request scheduling. Byte-identical stats comparisons must exclude the
+// two variant counters (SimMemoVariantMetricNames).
 func SimMemoMetrics() []obs.Metric {
 	simMemo.mu.Lock()
 	defer simMemo.mu.Unlock()
 	return []obs.Metric{
 		obs.Count("sim_cache_hits", simMemo.hits),
 		obs.Count("sim_cache_misses", simMemo.misses),
-		obs.Count("sim_cache_entries", uint64(len(simMemo.entries))),
+		obs.Count("sim_cache_entries", uint64(simMemo.lru.Len())),
+		obs.Count("sim_cache_evictions", simMemo.evictions),
+		obs.Count("sim_cache_disk_hits", simMemo.diskHits),
+		obs.Count("sim_cache_disk_writes", simMemo.diskWrites),
+		obs.Count("sim_cache_disk_errors", simMemo.diskErrors),
+	}
+}
+
+// SimMemoVariantMetricNames lists the cache counters whose values depend on
+// request scheduling once eviction is possible. Determinism checks that
+// byte-compare stats reports across worker counts must drop these.
+func SimMemoVariantMetricNames() []string {
+	return []string{"sim_cache_entries", "sim_cache_evictions"}
+}
+
+// evictOverLocked evicts least-recently-used completed entries until the
+// population fits the capacity. In-flight entries are pinned: evicting one
+// would let a concurrent request start a second flight for the same key,
+// breaking the misses-=-distinct-keys invariant mid-run. c.mu must be held.
+func (c *memoCache) evictOverLocked() {
+	if c.cap <= 0 {
+		return
+	}
+	for e := c.lru.Back(); e != nil && c.lru.Len() > c.cap; {
+		prev := e.Prev()
+		ent := e.Value.(*memoEntry)
+		if !ent.inflight {
+			c.lru.Remove(e)
+			delete(c.entries, ent.key)
+			c.evictions++
+		}
+		e = prev
+	}
+}
+
+// removeLocked drops the entry for key if it is still present (panic
+// recovery: the entry must not poison future lookups). c.mu must be held.
+func (c *memoCache) removeLocked(key string) {
+	if e, ok := c.entries[key]; ok {
+		c.lru.Remove(e)
+		delete(c.entries, key)
 	}
 }
 
 // do returns the cached value for key, or runs f once (single-flight) and
 // caches its result — including its error, so a failing configuration fails
-// identically on every lookup.
-func (c *memoCache) do(key string, f func() (any, error)) (any, error) {
+// identically on every lookup. A panicking f is the exception: its entry is
+// evicted before the panic propagates, so a transient panic never becomes a
+// permanently cached failure (waiters already joined to the flight still
+// receive an error naming the panic).
+//
+// When codec is non-nil and a disk store is attached, a miss first consults
+// the store (a disk hit skips the simulation), and a freshly computed value
+// is persisted best-effort (IO failures count in sim_cache_disk_errors and
+// never fail the simulation).
+func (c *memoCache) do(key string, codec *memoCodec, f func() (any, error)) (any, error) {
 	c.mu.Lock()
-	if ent, ok := c.entries[key]; ok {
+	if e, ok := c.entries[key]; ok {
 		c.hits++
+		c.lru.MoveToFront(e)
+		ent := e.Value.(*memoEntry)
 		c.mu.Unlock()
 		<-ent.done
 		return ent.val, ent.err
 	}
-	ent := &memoEntry{done: make(chan struct{})}
-	c.entries[key] = ent
+	ent := &memoEntry{key: key, done: make(chan struct{}), inflight: true}
+	c.entries[key] = c.lru.PushFront(ent)
 	c.misses++
+	store := c.store
 	c.mu.Unlock()
+
+	finish := func(diskHit bool) {
+		c.mu.Lock()
+		ent.inflight = false
+		// Completion counts as a use: a just-finished simulation must not be
+		// the first thing a concurrent overflow evicts.
+		if e, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(e)
+		}
+		if diskHit {
+			c.diskHits++
+		}
+		c.evictOverLocked()
+		c.mu.Unlock()
+	}
+
+	if codec != nil && store != nil {
+		if data, ok, err := store.Get(key); err != nil {
+			c.countDiskError()
+		} else if ok {
+			if v, err := codec.decode(data); err != nil {
+				// A corrupt blob is dropped and recomputed below.
+				c.countDiskError()
+			} else {
+				ent.val = v
+				close(ent.done)
+				finish(true)
+				return ent.val, ent.err
+			}
+		}
+	}
+
 	defer func() {
 		if r := recover(); r != nil {
 			// Unblock waiters before propagating: they see an error naming
-			// the panic, the panicking goroutine keeps its stack.
+			// the panic, the panicking goroutine keeps its stack. The entry
+			// is evicted so the next request retries instead of receiving a
+			// permanently cached failure.
 			ent.err = fmt.Errorf("experiments: memoized simulation panicked: %v", r)
+			c.mu.Lock()
+			c.removeLocked(key)
+			c.mu.Unlock()
 			close(ent.done)
 			panic(r)
 		}
 	}()
 	ent.val, ent.err = f()
 	close(ent.done)
+	if ent.err == nil && codec != nil && store != nil {
+		if data, err := codec.encode(ent.val); err != nil {
+			c.countDiskError()
+		} else if err := store.Put(key, data); err != nil {
+			c.countDiskError()
+		} else {
+			c.countDiskWrite()
+		}
+	}
+	finish(false)
 	return ent.val, ent.err
 }
 
+func (c *memoCache) countDiskError() {
+	c.mu.Lock()
+	c.diskErrors++
+	c.mu.Unlock()
+}
+
+func (c *memoCache) countDiskWrite() {
+	c.mu.Lock()
+	c.diskWrites++
+	c.mu.Unlock()
+}
+
 // memoDo wraps a simulation in the cache. kind namespaces the entry point
-// ("cpu1", "cpuN", "mesa"); fill appends the configuration fingerprint to
-// the key hash. If the cache is disabled or the kernel's program cannot be
-// assembled, f runs uncached (the latter so error wrapping stays exactly as
-// before).
+// ("cpu1", "cpuN", "mesa", "raw.*"); fill appends the configuration
+// fingerprint to the key hash. If the cache is disabled or the kernel's
+// program cannot be assembled, f runs uncached (the latter so error wrapping
+// stays exactly as before).
 func memoDo(kind string, k *kernels.Kernel, fill func(io.Writer), f func() (any, error)) (any, error) {
 	if !memoEnabled.Load() {
 		return f()
@@ -120,7 +316,23 @@ func memoDo(kind string, k *kernels.Kernel, fill func(io.Writer), f func() (any,
 	if err != nil {
 		return f()
 	}
-	return simMemo.do(key, f)
+	return simMemo.do(key, diskCodec(kind), f)
+}
+
+// memoDoProgram is memoDo for raw programs that have no kernel identity:
+// mesad accepts arbitrary RV32IMF words, keyed purely by their content hash
+// plus the configuration fingerprint.
+func memoDoProgram(kind string, prog *isa.Program, fill func(io.Writer), f func() (any, error)) (any, error) {
+	if !memoEnabled.Load() {
+		return f()
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|base%d|", kind, prog.Base)
+	hashProgram(h, prog)
+	fmt.Fprintf(h, "|seed%d|steps%d|", Seed, MaxSteps)
+	fill(h)
+	key := hex.EncodeToString(h.Sum(nil))
+	return simMemo.do(key, diskCodec(kind), f)
 }
 
 // memoKey builds the content-hash key: entry-point kind, kernel identity
@@ -135,6 +347,21 @@ func memoKey(kind string, k *kernels.Kernel, fill func(io.Writer)) (string, erro
 	}
 	h := sha256.New()
 	fmt.Fprintf(h, "%s|%s|%d|%t|base%d|", kind, k.Name, k.N, k.Parallel, prog.Base)
+	hashProgram(h, prog)
+	fmt.Fprintf(h, "|seed%d|steps%d|", Seed, MaxSteps)
+	fill(h)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// HashProgramWords writes prog's encoded instruction words to h: the
+// program's content address, together with its base. Exported so mesad's
+// response-store keys agree with the memo layer's notion of program
+// identity.
+func HashProgramWords(h io.Writer, prog *isa.Program) { hashProgram(h, prog) }
+
+// hashProgram writes the encoded instruction words to h (the program's
+// content address, together with its base).
+func hashProgram(h io.Writer, prog *isa.Program) {
 	var word [4]byte
 	for _, in := range prog.Insts {
 		enc, err := isa.Encode(in)
@@ -146,7 +373,4 @@ func memoKey(kind string, k *kernels.Kernel, fill func(io.Writer)) (string, erro
 		binary.LittleEndian.PutUint32(word[:], enc)
 		h.Write(word[:])
 	}
-	fmt.Fprintf(h, "|seed%d|steps%d|", Seed, MaxSteps)
-	fill(h)
-	return hex.EncodeToString(h.Sum(nil)), nil
 }

@@ -7,6 +7,63 @@ import (
 	"mesa/internal/obs"
 )
 
+// TestStatsWorkerInvariant pins the contract behind mesabench -stats for the
+// simulation-result cache section: with the cache at its default capacity
+// (nothing evicted), the single-flight design makes sim_cache_hits and
+// sim_cache_misses worker-count-invariant (misses = distinct keys, hits =
+// lookups − misses), so the serialized report byte-compares across -parallel
+// settings.
+//
+// sim_cache_entries and sim_cache_evictions are deliberately EXCLUDED from
+// the byte comparison: they are worker-count-VARIANT by construction. Once
+// the LRU is bounded below the working set, which key is resident (entries)
+// and how many were displaced (evictions) depend on the order concurrent
+// workers inserted them — two 4-worker runs can legally disagree with each
+// other, let alone with a serial run. Only the variant pair is dropped;
+// every other counter must still match byte for byte.
+func TestStatsWorkerInvariant(t *testing.T) {
+	prev := Workers()
+	defer SetWorkers(prev)
+
+	invariantMemoMetrics := func() []obs.Metric {
+		variant := map[string]bool{}
+		for _, name := range SimMemoVariantMetricNames() {
+			variant[name] = true
+		}
+		var kept []obs.Metric
+		for _, m := range SimMemoMetrics() {
+			if !variant[m.Name] {
+				kept = append(kept, m)
+			}
+		}
+		return kept
+	}
+
+	take := func(workers int) string {
+		ResetPoolStats()
+		ResetSimMemo()
+		SetWorkers(workers)
+		if _, err := Figure13(); err != nil {
+			t.Fatalf("figure13 with workers=%d: %v", workers, err)
+		}
+		reg := obs.NewRegistry()
+		reg.Add("experiments.pool", PoolMetrics()...)
+		reg.Add("experiments.memo", invariantMemoMetrics()...)
+		var buf bytes.Buffer
+		if err := reg.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	serial := take(1)
+	parallel := take(4)
+	if serial != parallel {
+		t.Errorf("invariant stats differ between workers=1 and workers=4\nserial:\n%s\nparallel:\n%s",
+			serial, parallel)
+	}
+}
+
 // TestPoolStatsWorkerInvariant pins the contract behind mesabench -stats:
 // the pool's snapshot holds only worker-count-invariant counters, so the
 // serialized report is byte-identical whether a sweep ran on 1 worker or 4.

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func storeKey(data string) string {
+	sum := sha256.Sum256([]byte(data))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	s, err := OpenDiskStore(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := storeKey("hello")
+	if _, ok, err := s.Get(key); err != nil || ok {
+		t.Fatalf("empty store Get: ok=%v err=%v", ok, err)
+	}
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := s.Get(key)
+	if err != nil || !ok || !bytes.Equal(data, []byte("payload")) {
+		t.Fatalf("Get after Put: %q ok=%v err=%v", data, ok, err)
+	}
+	// Re-Put of an existing content address is a no-op, never a rewrite.
+	if err := s.Put(key, []byte("different")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, _ = s.Get(key)
+	if !bytes.Equal(data, []byte("payload")) {
+		t.Fatalf("re-Put overwrote a content-addressed blob: %q", data)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d err=%v, want 1", n, err)
+	}
+}
+
+func TestDiskStoreRejectsBadKeys(t *testing.T) {
+	s, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"",
+		"short",
+		"../../../../etc/passwd",
+		strings.Repeat("z", 64), // right length, not hex
+		strings.Repeat("A", 64), // upper-case hex is not canonical
+	} {
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted a non-sha256 key", key)
+		}
+		if _, _, err := s.Get(key); err == nil {
+			t.Errorf("Get(%q) accepted a non-sha256 key", key)
+		}
+	}
+}
+
+func TestDiskStoreLayout(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := storeKey("layout")
+	if err := s.Put(key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Two-level fan-out: dir/<first two hex chars>/<remaining 62>.
+	if _, err := os.Stat(filepath.Join(dir, key[:2], key[2:])); err != nil {
+		t.Fatalf("blob not at fan-out path: %v", err)
+	}
+}

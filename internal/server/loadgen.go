@@ -1,0 +1,159 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"mesa/internal/kernels"
+	"mesa/internal/mapping"
+)
+
+// LoadOptions configures a LoadGen run.
+type LoadOptions struct {
+	// Kernels to request (default: every built-in kernel).
+	Kernels []string
+	// Mappers to cross with the kernels (default: every registered
+	// strategy).
+	Mappers []string
+	// Backend for every request (default M-128).
+	Backend string
+	// Clients is the number of concurrent HTTP clients (default 8).
+	Clients int
+	// Rounds repeats the whole kernel×mapper matrix (default 1); rounds
+	// after the first exercise the warm path.
+	Rounds int
+}
+
+// LoadStats summarizes a LoadGen run.
+type LoadStats struct {
+	Requests   int // requests issued
+	Mismatches int // responses that differed from the direct library call
+}
+
+// LoadGen hammers baseURL's /v1/simulate with the kernel×mapper matrix from
+// concurrent clients and verifies every response body is byte-identical to
+// the direct library call (EncodeResponse ∘ Simulate on ref). Any transport
+// failure, non-200 status, or body mismatch is an error: the server must
+// produce exactly the library's bytes whether the caches are cold, warm,
+// bounded, or on disk.
+func LoadGen(client *http.Client, baseURL string, ref *Server, o LoadOptions) (LoadStats, error) {
+	if len(o.Kernels) == 0 {
+		o.Kernels = kernels.Names()
+	}
+	if len(o.Mappers) == 0 {
+		o.Mappers = mapping.Names()
+	}
+	if o.Backend == "" {
+		o.Backend = "M-128"
+	}
+	if o.Clients < 1 {
+		o.Clients = 8
+	}
+	if o.Rounds < 1 {
+		o.Rounds = 1
+	}
+
+	var reqs []*Request
+	for r := 0; r < o.Rounds; r++ {
+		for _, k := range o.Kernels {
+			for _, m := range o.Mappers {
+				reqs = append(reqs, &Request{Kernel: k, Mapper: m, Backend: o.Backend})
+			}
+		}
+	}
+
+	// Expected bytes per distinct request, computed once via the library
+	// path (requests are pure functions of their content, so one expectation
+	// covers every round).
+	type expKey struct{ kernel, mapper string }
+	expected := map[expKey][]byte{}
+	var expMu sync.Mutex
+	expect := func(req *Request) ([]byte, error) {
+		key := expKey{req.Kernel, req.Mapper}
+		expMu.Lock()
+		defer expMu.Unlock()
+		if b, ok := expected[key]; ok {
+			return b, nil
+		}
+		resp, err := ref.Simulate(req)
+		if err != nil {
+			return nil, fmt.Errorf("library call %s/%s: %w", req.Kernel, req.Mapper, err)
+		}
+		b, err := EncodeResponse(resp)
+		if err != nil {
+			return nil, err
+		}
+		expected[key] = b
+		return b, nil
+	}
+
+	var (
+		next       atomic.Int64
+		mismatches atomic.Int64
+		failed     atomic.Bool
+		firstErr   error
+		errOnce    sync.Once
+		wg         sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		failed.Store(true)
+	}
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) || failed.Load() {
+					return
+				}
+				req := reqs[i]
+				want, err := expect(req)
+				if err != nil {
+					fail(err)
+					return
+				}
+				body, err := postSimulate(client, baseURL, req)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if !bytes.Equal(body, want) {
+					mismatches.Add(1)
+					fail(fmt.Errorf("%s/%s: response differs from direct library call\nserver: %s\nlibrary: %s",
+						req.Kernel, req.Mapper, body, want))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return LoadStats{Requests: len(reqs), Mismatches: int(mismatches.Load())}, firstErr
+}
+
+// postSimulate issues one /v1/simulate request and returns the raw body.
+func postSimulate(client *http.Client, baseURL string, req *Request) ([]byte, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(baseURL+"/v1/simulate", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s/%s: status %d: %s", req.Kernel, req.Mapper, resp.StatusCode, body)
+	}
+	return body, nil
+}

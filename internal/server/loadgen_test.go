@@ -1,0 +1,136 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"mesa/internal/experiments"
+)
+
+// TestLoadGenByteIdentity is the acceptance gate for mesad: the full 17
+// kernels × 3 strategies matrix, issued by concurrent clients against the
+// HTTP server, must produce responses byte-identical to the direct library
+// call — under a cold cache, a warm cache, and a cache bounded to 4 entries
+// (where nearly every lookup evicts). Identical bytes in all three regimes
+// proves responses are pure functions of the request and that neither
+// coalescing, LRU eviction, nor cache-state transitions leak into bodies.
+func TestLoadGenByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 17×3 sweep in -short mode")
+	}
+	experiments.ResetSimMemo()
+	defer experiments.ResetSimMemo()
+
+	// Admission matches the client count so the gate serializes work without
+	// ever rejecting: this test is about byte-identity, not backpressure
+	// (TestHandlerQueueFull covers rejection).
+	srv := New(Config{Admission: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	run := func(label string) {
+		t.Helper()
+		stats, err := LoadGen(ts.Client(), ts.URL, srv, LoadOptions{Clients: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if stats.Requests != 17*3 {
+			t.Fatalf("%s: issued %d requests, want %d", label, stats.Requests, 17*3)
+		}
+		if stats.Mismatches != 0 {
+			t.Fatalf("%s: %d responses differ from the direct library call", label, stats.Mismatches)
+		}
+	}
+
+	run("cold cache")
+	run("warm cache")
+
+	// Bound the cache far below the 51-entry working set: most lookups now
+	// miss, evict, and recompute — and must still produce identical bytes.
+	prevCap := experiments.SetSimMemoCapacity(4)
+	defer experiments.SetSimMemoCapacity(prevCap)
+	experiments.ResetSimMemo()
+	run("bounded cache (4 entries)")
+
+	if n := simMemoMetric(t, "sim_cache_evictions"); n == 0 {
+		t.Error("bounded pass evicted nothing: the bound was not exercised")
+	}
+	if n := simMemoMetric(t, "sim_cache_entries"); n > 4 {
+		t.Errorf("bounded pass left %v entries resident, capacity 4", n)
+	}
+}
+
+func simMemoMetric(t *testing.T, name string) float64 {
+	t.Helper()
+	for _, m := range experiments.SimMemoMetrics() {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	t.Fatalf("metric %s not in SimMemoMetrics", name)
+	return 0
+}
+
+// TestLoadGenDiskStoreByteIdentity: the same matrix replayed from the
+// on-disk response store (fresh Server, same store, wiped in-memory caches)
+// still byte-matches the direct library call.
+func TestLoadGenDiskStoreByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	experiments.ResetSimMemo()
+	defer experiments.ResetSimMemo()
+
+	store, err := experiments.OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := LoadOptions{Kernels: []string{"nn", "kmeans", "hotspot", "bfs"}, Clients: 4}
+
+	cold := New(Config{Store: store})
+	tsCold := httptest.NewServer(cold.Handler())
+	stats, err := LoadGen(tsCold.Client(), tsCold.URL, cold, opts)
+	tsCold.Close()
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	if stats.Mismatches != 0 {
+		t.Fatalf("cold: %d mismatches", stats.Mismatches)
+	}
+
+	// "Restart": new Server over the same store, in-memory caches wiped.
+	experiments.ResetSimMemo()
+	warm := New(Config{Store: store})
+	tsWarm := httptest.NewServer(warm.Handler())
+	defer tsWarm.Close()
+	stats, err = LoadGen(tsWarm.Client(), tsWarm.URL, warm, opts)
+	if err != nil {
+		t.Fatalf("disk warm: %v", err)
+	}
+	if stats.Mismatches != 0 {
+		t.Fatalf("disk warm: %d responses differ after disk replay", stats.Mismatches)
+	}
+	if warm.respDiskHits.Load() == 0 {
+		t.Error("disk-warm pass never hit the response store")
+	}
+}
+
+// TestLoadGenReportsMismatch: the generator itself must detect divergence —
+// feed it a reference server configured with a different default mapper so
+// expected bytes genuinely differ.
+func TestLoadGenReportsMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	srv := New(Config{DefaultMapper: "greedy"})
+	ref := New(Config{DefaultMapper: "greedy+anneal"})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	stats, err := LoadGen(ts.Client(), ts.URL, ref, LoadOptions{
+		Kernels: []string{"nn"}, Mappers: []string{""}, Clients: 1,
+	})
+	if err == nil || stats.Mismatches == 0 {
+		t.Errorf("diverging mapper defaults not flagged (err=%v, mismatches=%d): the gate cannot fail",
+			err, stats.Mismatches)
+	}
+}
