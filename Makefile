@@ -60,9 +60,12 @@ fuzz-smoke:
 
 # End-to-end self-test of the mesad service binary: serve on a loopback
 # port, run the load generator cold and warm (every response byte-compared
-# against the direct library call), scrape /metrics, drain, exit.
+# against the direct library call), scrape /metrics as JSON and as a
+# Prometheus exposition (validated line by line with the strict parser),
+# check /healthz and /debug/requests, write one flight-recorder trace to
+# mesad-trace.json (a CI artifact), drain, exit.
 mesad-smoke:
-	$(GO) run ./cmd/mesad -smoke
+	$(GO) run ./cmd/mesad -smoke -smoke-trace mesad-trace.json
 
 bench:
 	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' .

@@ -30,12 +30,14 @@
 // The -stats report is byte-identical between -parallel 1 and -parallel N
 // (like the experiment output itself, BENCH metrics included; the snapshot's
 // wall_seconds field is the one host-dependent value and is never compared)
-// — with one caveat: sim_cache_entries and sim_cache_evictions are
-// worker-count-invariant only while nothing is evicted. At the default
+// — with two caveats. First, sim_cache_entries and sim_cache_evictions are
+// worker-count-invariant only while nothing is evicted: at the default
 // -cache-size the bench working set fits, so they stay invariant; bounding
 // the cache below the working set makes eviction order (and therefore those
-// two counters) depend on concurrent insert order. Determinism checks
-// exclude exactly that pair (experiments.SimMemoVariantMetricNames).
+// two counters) depend on concurrent insert order. Second, the
+// experiments.timing section holds wall-clock histogram summaries, which
+// are host- and scheduling-dependent by nature. Determinism checks exclude
+// exactly the declared variant set (experiments.StatsVariantMetricNames).
 package main
 
 import (
@@ -336,11 +338,12 @@ func runBench(cfg config) (regressed bool, err error) {
 	return false, nil
 }
 
-// writeStats emits the unified metrics report for a bench run. Wall-clock
-// durations are deliberately excluded: every value here is deterministic and
-// worker-count-invariant, so the file byte-compares across -parallel
-// settings. A write failure is returned (and exits non-zero) — the user
-// asked for the file.
+// writeStats emits the unified metrics report for a bench run. Every value
+// is deterministic and worker-count-invariant except the declared variant
+// set (experiments.StatsVariantMetricNames): the eviction-dependent cache
+// counters plus the experiments.timing wall-clock summaries. Byte-compares
+// across -parallel settings must drop exactly those names. A write failure
+// is returned (and exits non-zero) — the user asked for the file.
 func writeStats(path string, chosen []experiment) error {
 	if path == "" {
 		return nil
@@ -351,6 +354,7 @@ func writeStats(path string, chosen []experiment) error {
 	)
 	reg.Add("experiments.pool", experiments.PoolMetrics()...)
 	reg.Add("experiments.memo", experiments.SimMemoMetrics()...)
+	reg.AddHistogram("experiments.timing", experiments.SimTimingHistograms()...)
 	f, err := os.Create(path)
 	if err != nil {
 		return err

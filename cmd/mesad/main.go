@@ -11,6 +11,9 @@
 //	mesad -cache-size 1024          # bound the in-memory result LRU
 //	mesad -cache-dir /var/mesa      # persist warm results across restarts
 //	mesad -mapper congestion        # default placement strategy
+//	mesad -log-level debug          # structured JSON request logs (off|debug|info|warn|error)
+//	mesad -debug-addr 127.0.0.1:0   # serve net/http/pprof on a side listener
+//	mesad -flight 128               # retain the 128 slowest request traces
 //	mesad -smoke                    # self-test: serve, load-generate, scrape /metrics, exit
 //
 // Endpoints:
@@ -18,8 +21,15 @@
 //	POST /v1/simulate   {"kernel":"nn","backend":"M-128","mapper":"greedy"}
 //	                    or {"program":{"base":4096,"words":[...]}}
 //	GET  /v1/kernels    list the built-in kernels
-//	GET  /metrics       every counter surface (server, pool, sim cache) as JSON
-//	GET  /healthz       liveness
+//	GET  /metrics       every counter surface (server, latency histograms,
+//	                    pool, sim cache) as JSON; Accept: text/plain selects
+//	                    the Prometheus text exposition
+//	GET  /healthz       liveness JSON: uptime, drain state, in-flight, queue
+//	GET  /debug/requests            the N slowest request span trees
+//	GET  /debug/requests/{id}/trace one request as Chrome trace JSON
+//
+// Every response carries X-Request-ID (client-propagated or generated), and
+// each request emits one structured log line with per-stage timings.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight simulations finish, new
 // requests are refused with 503.
@@ -27,12 +37,15 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -41,17 +54,43 @@ import (
 
 	"mesa/internal/experiments"
 	"mesa/internal/mapping"
+	"mesa/internal/obs"
 	"mesa/internal/server"
 )
 
 // options collects the parsed command line.
 type options struct {
-	addr      string
-	parallel  int
-	cacheSize int
-	cacheDir  string
-	mapper    string
-	smoke     bool
+	addr       string
+	parallel   int
+	cacheSize  int
+	cacheDir   string
+	mapper     string
+	logLevel   string
+	debugAddr  string
+	flight     int
+	smoke      bool
+	smokeTrace string
+}
+
+// newLogger builds the request logger: JSON lines to w at the given level,
+// or nil (logging disabled) for "off".
+func newLogger(w io.Writer, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "off":
+		return nil, nil
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("invalid -log-level %q (want off, debug, info, warn, or error)", level)
+	}
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: lv})), nil
 }
 
 func main() {
@@ -72,8 +111,16 @@ func realMain(args []string, out, errw io.Writer) int {
 		"content-addressed on-disk result store; warm results survive restarts (empty = memory only)")
 	fs.StringVar(&o.mapper, "mapper", mapping.Default().Name(),
 		"default placement strategy ("+strings.Join(mapping.Names(), ", ")+")")
+	fs.StringVar(&o.logLevel, "log-level", "info",
+		"structured request-log level: off, debug, info, warn, or error")
+	fs.StringVar(&o.debugAddr, "debug-addr", "",
+		"serve net/http/pprof on this side address (empty = disabled)")
+	fs.IntVar(&o.flight, "flight", 64,
+		"retain the N slowest request traces at /debug/requests")
 	fs.BoolVar(&o.smoke, "smoke", false,
 		"self-test: serve on a loopback port, run the load generator, scrape /metrics, exit")
+	fs.StringVar(&o.smokeTrace, "smoke-trace", "",
+		"with -smoke: write one flight-recorder trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -88,6 +135,11 @@ func realMain(args []string, out, errw io.Writer) int {
 	}
 	if o.parallel < 0 {
 		fmt.Fprintf(errw, "mesad: invalid -parallel %d\n", o.parallel)
+		return 2
+	}
+	logger, err := newLogger(errw, o.logLevel)
+	if err != nil {
+		fmt.Fprintln(errw, "mesad:", err)
 		return 2
 	}
 	experiments.SetWorkers(o.parallel)
@@ -111,7 +163,23 @@ func realMain(args []string, out, errw io.Writer) int {
 		DefaultMapper: o.mapper,
 		Admission:     o.parallel,
 		Store:         store,
+		Logger:        logger,
+		FlightSize:    o.flight,
 	})
+
+	// Optional pprof side listener: net/http/pprof registers on the default
+	// mux, which the API listener never serves, so profiling stays off the
+	// service port.
+	if o.debugAddr != "" {
+		dln, err := net.Listen("tcp", o.debugAddr)
+		if err != nil {
+			fmt.Fprintln(errw, "mesad:", err)
+			return 1
+		}
+		defer dln.Close()
+		fmt.Fprintf(out, "mesad: pprof on http://%s/debug/pprof/\n", dln.Addr())
+		go http.Serve(dln, http.DefaultServeMux)
+	}
 
 	addr := o.addr
 	if o.smoke {
@@ -125,7 +193,7 @@ func realMain(args []string, out, errw io.Writer) int {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 
 	if o.smoke {
-		return runSmoke(srv, httpSrv, ln, out, errw)
+		return runSmoke(srv, httpSrv, ln, o.smokeTrace, out, errw)
 	}
 
 	// Serve until a signal, then drain: in-flight requests finish, new ones
@@ -161,9 +229,11 @@ func realMain(args []string, out, errw io.Writer) int {
 
 // runSmoke is the -smoke self-test: serve on a loopback port, run the load
 // generator twice (cold then warm — warm must be all cache hits), scrape
-// /metrics, shut down gracefully. A small kernel subset keeps the smoke
-// brief; the full 17×3 matrix runs in the server package's tests.
-func runSmoke(srv *server.Server, httpSrv *http.Server, ln net.Listener, out, errw io.Writer) int {
+// /metrics in both JSON and Prometheus form (the latter validated with the
+// strict exposition parser), check /healthz and the flight recorder, and
+// shut down gracefully. A small kernel subset keeps the smoke brief; the
+// full 17×3 matrix runs in the server package's tests.
+func runSmoke(srv *server.Server, httpSrv *http.Server, ln net.Listener, tracePath string, out, errw io.Writer) int {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	base := "http://" + ln.Addr().String()
@@ -195,13 +265,107 @@ func runSmoke(srv *server.Server, httpSrv *http.Server, ln net.Listener, out, er
 		fmt.Fprintf(errw, "mesad: smoke /metrics: status %d err %v\n", metrics.StatusCode, err)
 		return 1
 	}
-	for _, want := range []string{"sim_cache_hits", "admitted", "experiments.pool"} {
+	for _, want := range []string{"sim_cache_hits", "admitted", "experiments.pool", "request_seconds_p99"} {
 		if !strings.Contains(string(body), want) {
 			fmt.Fprintf(errw, "mesad: smoke /metrics missing %q:\n%s\n", want, body)
 			return 1
 		}
 	}
 	fmt.Fprintf(out, "mesad: smoke /metrics ok (%d bytes)\n", len(body))
+
+	// Prometheus exposition: content-negotiated, and every line must satisfy
+	// the strict parser (histogram monotonicity included).
+	promReq, _ := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	promReq.Header.Set("Accept", "text/plain")
+	promResp, err := client.Do(promReq)
+	if err != nil {
+		fmt.Fprintln(errw, "mesad: smoke prometheus /metrics:", err)
+		return 1
+	}
+	promBody, err := io.ReadAll(promResp.Body)
+	promResp.Body.Close()
+	if err != nil || promResp.StatusCode != http.StatusOK {
+		fmt.Fprintf(errw, "mesad: smoke prometheus /metrics: status %d err %v\n", promResp.StatusCode, err)
+		return 1
+	}
+	if ct := promResp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		fmt.Fprintf(errw, "mesad: smoke prometheus /metrics content-type %q\n", ct)
+		return 1
+	}
+	fams, err := obs.ParsePrometheus(promBody)
+	if err != nil {
+		fmt.Fprintf(errw, "mesad: smoke prometheus exposition malformed: %v\n", err)
+		return 1
+	}
+	reqHist, ok := fams["mesad_request_seconds"]
+	if !ok || reqHist.Type != "histogram" {
+		fmt.Fprintln(errw, "mesad: smoke prometheus missing mesad_request_seconds histogram")
+		return 1
+	}
+	if c, ok := reqHist.Sample("mesad_request_seconds_count"); !ok || c.Value <= 0 {
+		fmt.Fprintln(errw, "mesad: smoke prometheus mesad_request_seconds_count is zero")
+		return 1
+	}
+	fmt.Fprintf(out, "mesad: smoke prometheus ok (%d families)\n", len(fams))
+
+	// Health: a serving process reports ok with its capacity numbers.
+	var health struct {
+		OK             bool `json:"ok"`
+		AdmissionWidth int  `json:"admission_width"`
+	}
+	hres, err := client.Get(base + "/healthz")
+	if err != nil {
+		fmt.Fprintln(errw, "mesad: smoke /healthz:", err)
+		return 1
+	}
+	herr := json.NewDecoder(hres.Body).Decode(&health)
+	hres.Body.Close()
+	if herr != nil || hres.StatusCode != http.StatusOK || !health.OK || health.AdmissionWidth < 1 {
+		fmt.Fprintf(errw, "mesad: smoke /healthz: status %d err %v body %+v\n", hres.StatusCode, herr, health)
+		return 1
+	}
+
+	// Flight recorder: the load passes must have retained slow requests, and
+	// their traces must be valid Chrome trace JSON.
+	var flights []struct {
+		ID        string `json:"id"`
+		TracePath string `json:"trace_path"`
+	}
+	fres, err := client.Get(base + "/debug/requests")
+	if err != nil {
+		fmt.Fprintln(errw, "mesad: smoke /debug/requests:", err)
+		return 1
+	}
+	ferr := json.NewDecoder(fres.Body).Decode(&flights)
+	fres.Body.Close()
+	if ferr != nil || fres.StatusCode != http.StatusOK || len(flights) == 0 {
+		fmt.Fprintf(errw, "mesad: smoke /debug/requests: status %d err %v entries %d\n",
+			fres.StatusCode, ferr, len(flights))
+		return 1
+	}
+	tres, err := client.Get(base + flights[0].TracePath)
+	if err != nil {
+		fmt.Fprintln(errw, "mesad: smoke trace fetch:", err)
+		return 1
+	}
+	traceBody, err := io.ReadAll(tres.Body)
+	tres.Body.Close()
+	var trace struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err != nil || tres.StatusCode != http.StatusOK ||
+		json.Unmarshal(traceBody, &trace) != nil || len(trace.TraceEvents) == 0 {
+		fmt.Fprintf(errw, "mesad: smoke trace for %s: status %d err %v\n", flights[0].ID, tres.StatusCode, err)
+		return 1
+	}
+	if tracePath != "" {
+		if err := os.WriteFile(tracePath, traceBody, 0o644); err != nil {
+			fmt.Fprintln(errw, "mesad: smoke trace write:", err)
+			return 1
+		}
+		fmt.Fprintf(out, "mesad: smoke trace for request %s written to %s\n", flights[0].ID, tracePath)
+	}
+	fmt.Fprintf(out, "mesad: smoke flight recorder ok (%d retained)\n", len(flights))
 
 	srv.Drain()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -22,6 +25,7 @@ func TestRealMainBadFlags(t *testing.T) {
 		{"unknown mapper", []string{"-mapper", "quantum"}, "quantum"},
 		{"negative parallel", []string{"-parallel", "-3"}, "invalid -parallel"},
 		{"non-integer cache size", []string{"-cache-size", "many"}, "invalid value"},
+		{"bad log level", []string{"-log-level", "loud"}, "invalid -log-level"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var out, errw bytes.Buffer
@@ -51,7 +55,9 @@ func TestRealMainBadCacheDir(t *testing.T) {
 }
 
 // TestRealMainSmoke runs the full -smoke self-test end to end on a loopback
-// port: serve, load-generate cold and warm, scrape /metrics, drain, exit 0.
+// port: serve, load-generate cold and warm, scrape /metrics in JSON and
+// Prometheus form, check /healthz and the flight recorder, write a trace
+// artifact, drain, exit 0.
 func TestRealMainSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("end-to-end smoke in -short mode")
@@ -61,14 +67,49 @@ func TestRealMainSmoke(t *testing.T) {
 		experiments.SetSimMemoCapacity(experiments.DefaultSimMemoCapacity)
 		experiments.ResetSimMemo()
 	}()
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
 	var out, errw bytes.Buffer
-	code := realMain([]string{"-smoke", "-cache-dir", t.TempDir()}, &out, &errw)
+	code := realMain([]string{
+		"-smoke", "-cache-dir", t.TempDir(),
+		"-smoke-trace", tracePath,
+		"-debug-addr", "127.0.0.1:0",
+		"-log-level", "info",
+	}, &out, &errw)
 	if code != 0 {
 		t.Fatalf("smoke exit code = %d\nstdout: %s\nstderr: %s", code, out.String(), errw.String())
 	}
-	for _, want := range []string{"smoke cold pass", "smoke warm pass", "0 mismatches", "smoke ok"} {
+	for _, want := range []string{
+		"smoke cold pass", "smoke warm pass", "0 mismatches",
+		"smoke prometheus ok", "smoke flight recorder ok", "pprof on", "smoke ok",
+	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("smoke output missing %q:\n%s", want, out.String())
 		}
+	}
+	// The trace artifact is valid Chrome trace JSON with at least one event.
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace artifact: %v", err)
+	}
+	var trace struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil || len(trace.TraceEvents) == 0 {
+		t.Errorf("trace artifact invalid (err %v, %d events)", err, len(trace.TraceEvents))
+	}
+	// At -log-level info, the smoke's simulate requests each produced one
+	// structured JSON log line on stderr.
+	var logLines int
+	for _, line := range strings.Split(errw.String(), "\n") {
+		if strings.Contains(line, `"route":"/v1/simulate"`) {
+			logLines++
+			var m map[string]any
+			if err := json.Unmarshal([]byte(line), &m); err != nil {
+				t.Errorf("log line is not JSON: %q: %v", line, err)
+			}
+		}
+	}
+	if logLines == 0 {
+		t.Errorf("no structured simulate log lines on stderr:\n%s", errw.String())
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mesa/internal/isa"
 	"mesa/internal/kernels"
@@ -222,7 +223,9 @@ func (c *memoCache) do(key string, codec *memoCodec, f func() (any, error)) (any
 		c.lru.MoveToFront(e)
 		ent := e.Value.(*memoEntry)
 		c.mu.Unlock()
+		t0 := time.Now()
 		<-ent.done
+		observeSince(simHitWaitSeconds, t0)
 		return ent.val, ent.err
 	}
 	ent := &memoEntry{key: key, done: make(chan struct{}), inflight: true}
@@ -247,6 +250,7 @@ func (c *memoCache) do(key string, codec *memoCodec, f func() (any, error)) (any
 	}
 
 	if codec != nil && store != nil {
+		t0 := time.Now()
 		if data, ok, err := store.Get(key); err != nil {
 			c.countDiskError()
 		} else if ok {
@@ -257,6 +261,7 @@ func (c *memoCache) do(key string, codec *memoCodec, f func() (any, error)) (any
 				ent.val = v
 				close(ent.done)
 				finish(true)
+				observeSince(simHitWaitSeconds, t0)
 				return ent.val, ent.err
 			}
 		}
@@ -276,7 +281,9 @@ func (c *memoCache) do(key string, codec *memoCodec, f func() (any, error)) (any
 			panic(r)
 		}
 	}()
+	t0 := time.Now()
 	ent.val, ent.err = f()
+	observeSince(simRunSeconds, t0)
 	close(ent.done)
 	if ent.err == nil && codec != nil && store != nil {
 		if data, err := codec.encode(ent.val); err != nil {

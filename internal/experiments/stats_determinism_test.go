@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
 	"testing"
 
 	"mesa/internal/obs"
@@ -25,35 +26,42 @@ func TestStatsWorkerInvariant(t *testing.T) {
 	prev := Workers()
 	defer SetWorkers(prev)
 
-	invariantMemoMetrics := func() []obs.Metric {
-		variant := map[string]bool{}
-		for _, name := range SimMemoVariantMetricNames() {
-			variant[name] = true
-		}
-		var kept []obs.Metric
-		for _, m := range SimMemoMetrics() {
-			if !variant[m.Name] {
-				kept = append(kept, m)
-			}
-		}
-		return kept
+	// Build the report exactly as mesabench -stats does — including the
+	// wall-clock timing histograms — then strip every metric declared
+	// worker-count-variant before byte-comparing. Only declared names are
+	// dropped; every other counter must still match byte for byte.
+	variant := map[string]bool{}
+	for _, name := range StatsVariantMetricNames() {
+		variant[name] = true
 	}
 
 	take := func(workers int) string {
 		ResetPoolStats()
 		ResetSimMemo()
+		ResetSimTiming()
 		SetWorkers(workers)
 		if _, err := Figure13(); err != nil {
 			t.Fatalf("figure13 with workers=%d: %v", workers, err)
 		}
 		reg := obs.NewRegistry()
 		reg.Add("experiments.pool", PoolMetrics()...)
-		reg.Add("experiments.memo", invariantMemoMetrics()...)
-		var buf bytes.Buffer
-		if err := reg.WriteJSON(&buf); err != nil {
+		reg.Add("experiments.memo", SimMemoMetrics()...)
+		reg.AddHistogram("experiments.timing", SimTimingHistograms()...)
+		var kept []obs.Section
+		for _, sec := range reg.Report() {
+			out := obs.Section{Name: sec.Name}
+			for _, m := range sec.Metrics {
+				if !variant[m.Name] {
+					out.Metrics = append(out.Metrics, m)
+				}
+			}
+			kept = append(kept, out)
+		}
+		data, err := json.MarshalIndent(kept, "", "  ")
+		if err != nil {
 			t.Fatal(err)
 		}
-		return buf.String()
+		return string(data)
 	}
 
 	serial := take(1)
@@ -61,6 +69,44 @@ func TestStatsWorkerInvariant(t *testing.T) {
 	if serial != parallel {
 		t.Errorf("invariant stats differ between workers=1 and workers=4\nserial:\n%s\nparallel:\n%s",
 			serial, parallel)
+	}
+}
+
+// TestStatsVariantNamesExhaustive pins StatsVariantMetricNames from both
+// directions: every declared name must exist in a real stats report (a stale
+// entry would silently stop filtering anything), and every metric in the
+// wall-clock timing section must be declared variant (a new histogram whose
+// summaries leak into byte-compares would break `-parallel N` identity).
+func TestStatsVariantNamesExhaustive(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Add("experiments.memo", SimMemoMetrics()...)
+	reg.AddHistogram("experiments.timing", SimTimingHistograms()...)
+
+	present := map[string]bool{}
+	for _, sec := range reg.Report() {
+		for _, m := range sec.Metrics {
+			present[m.Name] = true
+		}
+	}
+	variant := map[string]bool{}
+	for _, name := range StatsVariantMetricNames() {
+		if variant[name] {
+			t.Errorf("StatsVariantMetricNames lists %q twice", name)
+		}
+		variant[name] = true
+		if !present[name] {
+			t.Errorf("declared variant metric %q does not appear in the stats report", name)
+		}
+	}
+	for _, sec := range reg.Report() {
+		if sec.Name != "experiments.timing" {
+			continue
+		}
+		for _, m := range sec.Metrics {
+			if !variant[m.Name] {
+				t.Errorf("wall-clock metric %q is not declared in StatsVariantMetricNames", m.Name)
+			}
+		}
 	}
 }
 

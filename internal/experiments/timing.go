@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"time"
+
+	"mesa/internal/obs"
+)
+
+// Wall-clock timing of the simulation memo layer. These histograms measure
+// host time, not simulated cycles — the two are different clocks (a cache hit
+// takes microseconds of wall time regardless of how many cycles the cached
+// simulation covered). They exist for service observability (mesad /metrics,
+// mesabench -stats) and are always on: Observe is two atomic adds, noise on
+// top of a millisecond-scale simulation.
+//
+// Wall-clock distributions are inherently worker-count-VARIANT — scheduling,
+// contention, and cache warmth all shift them — so every metric they
+// contribute to a stats report is listed in StatsVariantMetricNames and
+// excluded from byte-identical `-parallel N` comparisons.
+var (
+	// simRunSeconds times cold simulations: the f() the memo layer actually
+	// ran (single-flight, so one observation per distinct key per process).
+	simRunSeconds = obs.NewHistogram("sim_run_seconds",
+		"wall-clock duration of cold (uncached) simulations", obs.LatencyBuckets())
+	// simHitWaitSeconds times everything a hit costs: waiting on an
+	// in-flight computation, or loading and decoding a disk entry.
+	simHitWaitSeconds = obs.NewHistogram("sim_hit_wait_seconds",
+		"wall-clock wait for memoized results (in-memory joins and disk loads)", obs.LatencyBuckets())
+)
+
+// SimTimingHistograms returns the memo layer's wall-clock histograms for
+// registration (obs.Registry.AddHistogram). Callers must not mutate them
+// other than via Observe.
+func SimTimingHistograms() []*obs.Histogram {
+	return []*obs.Histogram{simHitWaitSeconds, simRunSeconds}
+}
+
+// ResetSimTiming zeroes the wall-clock histograms (tests and cold/warm
+// differential comparisons; paired with ResetSimMemo).
+func ResetSimTiming() {
+	simRunSeconds.Reset()
+	simHitWaitSeconds.Reset()
+}
+
+// StatsVariantMetricNames lists every metric name that may differ between
+// byte-compared stats reports at different worker counts: the scheduling-
+// dependent cache counters (SimMemoVariantMetricNames) plus all summary
+// metrics derived from wall-clock histograms. Derived programmatically from
+// the histograms' own SummaryMetricNames so the list cannot drift from what
+// the registry actually emits (TestStatsVariantNamesExhaustive enforces
+// the converse: everything wall-clock-shaped is listed here).
+func StatsVariantMetricNames() []string {
+	names := SimMemoVariantMetricNames()
+	for _, h := range SimTimingHistograms() {
+		names = append(names, h.SummaryMetricNames()...)
+	}
+	return names
+}
+
+// observeSince records a wall-clock duration started at t0 into h.
+func observeSince(h *obs.Histogram, t0 time.Time) {
+	h.Observe(time.Since(t0).Seconds())
+}

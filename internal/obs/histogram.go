@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket latency histogram: log-spaced upper bounds
+// chosen at construction, lock-free atomic observation, and a consistent
+// snapshot carrying count, sum, and interpolated quantiles. It is the
+// service-side counterpart of the simulator's cycle counters: counters
+// answer "where did the simulated cycles go", a Histogram answers "where did
+// the wall-clock time of a request go" — two different clocks (see
+// EXPERIMENTS.md).
+//
+// A nil *Histogram is a valid disabled handle whose methods all no-op, the
+// same contract as Recorder and Registry.
+type Histogram struct {
+	name   string
+	help   string
+	bounds []float64 // strictly increasing upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// LatencyBuckets returns the standard log-spaced bucket bounds for
+// wall-clock request and stage latencies: 10µs doubling up to ~84s
+// (24 bounds). Everything slower lands in the implicit +Inf bucket.
+func LatencyBuckets() []float64 {
+	bounds := make([]float64, 24)
+	b := 1e-5
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return bounds
+}
+
+// NewHistogram builds a histogram with the given metric name (Prometheus
+// style, e.g. "request_seconds"), help text, and strictly increasing bucket
+// upper bounds. Invalid bounds are a programmer error and panic.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly increasing at %d", name, i))
+		}
+	}
+	h := &Histogram{
+		name:   name,
+		help:   help,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	return h
+}
+
+// Name returns the metric name the histogram was constructed with.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Help returns the help text the histogram was constructed with.
+func (h *Histogram) Help() string {
+	if h == nil {
+		return ""
+	}
+	return h.help
+}
+
+// Observe records one value. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v; values beyond every bound land
+	// in the trailing +Inf bucket.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Reset zeroes every bucket and the sum (tests and cold/warm comparisons).
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sum.Store(0)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Counts[i] is the
+// number of observations in bucket i (NOT cumulative); the final entry is
+// the +Inf overflow bucket, so len(Counts) == len(Bounds)+1. Count is the
+// total, always equal to the sum of Counts, so derived cumulative bucket
+// series are monotone by construction.
+type HistogramSnapshot struct {
+	Name   string
+	Help   string
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observe calls
+// may land between bucket reads — the snapshot is internally consistent
+// (Count == sum of Counts) but Sum can trail the buckets by in-flight
+// observations; monitoring consumers tolerate that, byte-stability gates
+// must quiesce writers first (every test here does).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Name:   h.name,
+		Help:   h.help,
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// inside the bucket containing the target rank, Prometheus
+// histogram_quantile style. The overflow bucket cannot be interpolated and
+// reports the largest finite bound. An empty histogram reports 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		upper := s.Bounds[i]
+		frac := (rank - float64(prev)) / float64(c)
+		return lower + (upper-lower)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// SummaryMetricNames lists the metric names SummaryMetrics emits, in order.
+// Callers that must declare wall-clock metrics run-variant (the -stats
+// determinism gate) derive the declaration from this, so the two can never
+// drift apart.
+func (h *Histogram) SummaryMetricNames() []string {
+	if h == nil {
+		return nil
+	}
+	return []string{
+		h.name + "_count",
+		h.name + "_sum",
+		h.name + "_p50",
+		h.name + "_p90",
+		h.name + "_p99",
+	}
+}
+
+// SummaryMetrics renders the snapshot as flat registry metrics:
+// <name>_count, <name>_sum, and interpolated p50/p90/p99. This is the JSON
+// projection of the histogram; the Prometheus encoder uses the full bucket
+// series instead.
+func (s HistogramSnapshot) SummaryMetrics() []Metric {
+	return []Metric{
+		{Name: s.Name + "_count", Value: float64(s.Count), Kind: KindCounter},
+		{Name: s.Name + "_sum", Value: s.Sum, Kind: KindCounter},
+		{Name: s.Name + "_p50", Value: s.Quantile(0.50)},
+		{Name: s.Name + "_p90", Value: s.Quantile(0.90)},
+		{Name: s.Name + "_p99", Value: s.Quantile(0.99)},
+	}
+}

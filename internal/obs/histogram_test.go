@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram("x_seconds", "test", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.5, 10, 99, 100, 101, 1e9} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Buckets are upper-inclusive: (−∞,1], (1,10], (10,100], (100,+Inf).
+	want := []uint64{2, 2, 2, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 8 {
+		t.Errorf("count = %d, want 8", s.Count)
+	}
+	wantSum := 0.5 + 1 + 1.5 + 10 + 99 + 100 + 101 + 1e9
+	if s.Sum != wantSum {
+		t.Errorf("sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram("q_seconds", "test", []float64{1, 2, 4, 8})
+	// 100 observations uniformly in the (1,2] bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	s := h.Snapshot()
+	// All mass is in one bucket: quantiles interpolate inside (1,2].
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		v := s.Quantile(q)
+		if v < 1 || v > 2 {
+			t.Errorf("q%v = %v, want within (1,2]", q, v)
+		}
+	}
+	if p50, p99 := s.Quantile(0.5), s.Quantile(0.99); p50 >= p99 {
+		t.Errorf("p50 %v >= p99 %v: interpolation not monotone", p50, p99)
+	}
+
+	// Empty histogram reports 0.
+	if v := NewHistogram("e", "h", []float64{1}).Snapshot().Quantile(0.5); v != 0 {
+		t.Errorf("empty quantile = %v, want 0", v)
+	}
+
+	// Overflow-only mass reports the largest finite bound.
+	o := NewHistogram("o_seconds", "test", []float64{1, 2})
+	o.Observe(50)
+	if v := o.Snapshot().Quantile(0.5); v != 2 {
+		t.Errorf("overflow quantile = %v, want 2 (largest finite bound)", v)
+	}
+}
+
+func TestHistogramNilAndReset(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	h.Reset()
+	if s := h.Snapshot(); s.Count != 0 || h.Name() != "" || len(h.SummaryMetricNames()) != 0 {
+		t.Error("nil histogram not inert")
+	}
+
+	r := NewHistogram("r_seconds", "test", LatencyBuckets())
+	r.Observe(0.001)
+	r.Reset()
+	if s := r.Snapshot(); s.Count != 0 || s.Sum != 0 {
+		t.Errorf("reset left count=%d sum=%v", s.Count, s.Sum)
+	}
+}
+
+func TestHistogramSummaryNamesMatchMetrics(t *testing.T) {
+	h := NewHistogram("s_seconds", "test", []float64{1})
+	h.Observe(0.5)
+	names := h.SummaryMetricNames()
+	ms := h.Snapshot().SummaryMetrics()
+	if len(names) != len(ms) {
+		t.Fatalf("SummaryMetricNames %d entries, SummaryMetrics %d", len(names), len(ms))
+	}
+	for i := range ms {
+		if ms[i].Name != names[i] {
+			t.Errorf("metric %d named %q, declared %q", i, ms[i].Name, names[i])
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram("c_seconds", "test", LatencyBuckets())
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Errorf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	if math.Abs(s.Sum-float64(goroutines*per)*0.01) > 1e-6 {
+		t.Errorf("sum = %v, want %v", s.Sum, float64(goroutines*per)*0.01)
+	}
+}
+
+func TestLatencyBucketsShape(t *testing.T) {
+	b := LatencyBuckets()
+	if len(b) == 0 || b[0] != 1e-5 {
+		t.Fatalf("unexpected first bound: %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if !(b[i] > b[i-1]) {
+			t.Errorf("bounds not increasing at %d: %v <= %v", i, b[i], b[i-1])
+		}
+	}
+	if last := b[len(b)-1]; last < 60 {
+		t.Errorf("largest bound %v too small to cover slow requests", last)
+	}
+}

@@ -1,0 +1,504 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for the whole Registry: plain
+// metrics become gauge/counter families named
+// <namespace>_<section>_<metric> (sanitized), registered histograms become
+// native histogram families named <namespace>_<name> with cumulative
+// _bucket/_sum/_count series. Output is fully sorted (families by name,
+// buckets by bound), so a quiesced registry encodes byte-identically on
+// every scrape.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// SanitizeMetricName maps an arbitrary string onto the Prometheus metric
+// name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*: invalid runes become '_', and a
+// leading digit gains a '_' prefix. An empty input becomes "_".
+func SanitizeMetricName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// SanitizeLabelName is SanitizeMetricName without the colon (colons are
+// reserved for recording rules in label position).
+func SanitizeLabelName(s string) string {
+	return strings.ReplaceAll(SanitizeMetricName(s), ":", "_")
+}
+
+// escapeHelp escapes a HELP string per the exposition format: backslash and
+// newline only.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// unescapeHelp inverts escapeHelp so parsed families round-trip.
+func unescapeHelp(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value: backslash, double-quote, newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// formatPromValue renders a sample value. Prometheus accepts Go's shortest
+// round-trip float formatting; +Inf spells as "+Inf".
+func formatPromValue(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus encodes the registry in the Prometheus text exposition
+// format. namespace prefixes every family name (e.g. "mesad"). Plain
+// sections encode as single-sample gauge/counter families; registered
+// histograms encode natively. Families whose sanitized names collide are
+// merged under the first kind seen. A nil registry writes nothing.
+func (g *Registry) WritePrometheus(w io.Writer, namespace string) error {
+	if g == nil {
+		return nil
+	}
+	type family struct {
+		name  string
+		help  string
+		typ   string
+		lines []string
+	}
+	byName := map[string]*family{}
+	var order []string
+	get := func(name, help, typ string) *family {
+		f, ok := byName[name]
+		if !ok {
+			f = &family{name: name, help: help, typ: typ}
+			byName[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+
+	for _, sec := range g.plainSections() {
+		for _, m := range sec.Metrics {
+			name := SanitizeMetricName(namespace + "_" + sec.Name + "_" + m.Name)
+			typ := "gauge"
+			if m.Kind == KindCounter {
+				typ = "counter"
+			}
+			f := get(name, "", typ)
+			f.lines = append(f.lines, fmt.Sprintf("%s %s", name, formatPromValue(m.Value)))
+		}
+	}
+	for _, snap := range g.histogramSnapshots() {
+		name := SanitizeMetricName(namespace + "_" + snap.Name)
+		f := get(name, snap.Help, "histogram")
+		if len(f.lines) > 0 {
+			// A histogram name collided with an earlier family (or a
+			// duplicate registration): skip rather than emit a malformed
+			// duplicate series.
+			continue
+		}
+		var cum uint64
+		for i, bound := range snap.Bounds {
+			cum += snap.Counts[i]
+			f.lines = append(f.lines, fmt.Sprintf("%s_bucket{le=%q} %d", name, formatPromValue(bound), cum))
+		}
+		cum += snap.Counts[len(snap.Bounds)]
+		f.lines = append(f.lines, fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d", name, cum))
+		f.lines = append(f.lines, fmt.Sprintf("%s_sum %s", name, formatPromValue(snap.Sum)))
+		f.lines = append(f.lines, fmt.Sprintf("%s_count %d", name, cum))
+	}
+
+	sort.Strings(order)
+	bw := bufio.NewWriter(w)
+	for _, name := range order {
+		f := byName[name]
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, line := range f.lines {
+			fmt.Fprintln(bw, line)
+		}
+	}
+	return bw.Flush()
+}
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one parsed metric family.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []PromSample
+}
+
+// Bucket returns the histogram-family bucket samples in emission order.
+func (f *PromFamily) Buckets() []PromSample {
+	var out []PromSample
+	for _, s := range f.Samples {
+		if s.Name == f.Name+"_bucket" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Sample returns the first sample with the exact name, if any.
+func (f *PromFamily) Sample(name string) (PromSample, bool) {
+	for _, s := range f.Samples {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return PromSample{}, false
+}
+
+// ParsePrometheus is a minimal, strict parser for the text exposition format
+// this package emits: it validates name syntax, HELP/TYPE placement, label
+// quoting, float values, histogram bucket monotonicity (bounds strictly
+// increasing, cumulative counts non-decreasing, terminal +Inf bucket equal
+// to _count), and rejects duplicate samples. It exists so tests and the
+// mesad smoke gate can fail on any malformed exposition line without a
+// third-party dependency.
+func ParsePrometheus(data []byte) (map[string]*PromFamily, error) {
+	families := map[string]*PromFamily{}
+	seenSample := map[string]bool{}
+
+	// familyFor maps a sample name onto its declared family, accounting for
+	// the histogram suffixes.
+	familyFor := func(sample string) *PromFamily {
+		if f, ok := families[sample]; ok {
+			return f
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base, ok := strings.CutSuffix(sample, suffix)
+			if !ok {
+				continue
+			}
+			if f, ok := families[base]; ok && f.Type == "histogram" {
+				return f
+			}
+		}
+		return nil
+	}
+
+	lineNo := 0
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("prometheus exposition line %d: %s: %q", lineNo, fmt.Sprintf(format, args...), line)
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return nil, fail("invalid metric name %q", name)
+			}
+			f := families[name]
+			if f == nil {
+				f = &PromFamily{Name: name}
+				families[name] = f
+			}
+			if fields[1] == "HELP" {
+				if len(fields) == 4 {
+					f.Help = unescapeHelp(fields[3])
+				}
+				continue
+			}
+			if len(fields) != 4 {
+				return nil, fail("TYPE line needs a type")
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fail("unknown type %q", fields[3])
+			}
+			if len(f.Samples) > 0 {
+				return nil, fail("TYPE after samples for %q", name)
+			}
+			f.Type = fields[3]
+			continue
+		}
+
+		sample, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fail("%v", err)
+		}
+		key := sampleKey(sample)
+		if seenSample[key] {
+			return nil, fail("duplicate sample")
+		}
+		seenSample[key] = true
+		f := familyFor(sample.Name)
+		if f == nil {
+			f = &PromFamily{Name: sample.Name, Type: "untyped"}
+			families[sample.Name] = f
+		}
+		f.Samples = append(f.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	for name, f := range families {
+		if f.Type != "histogram" {
+			continue
+		}
+		if err := validateHistogramFamily(f); err != nil {
+			return nil, fmt.Errorf("prometheus histogram %s: %w", name, err)
+		}
+	}
+	return families, nil
+}
+
+func validateHistogramFamily(f *PromFamily) error {
+	buckets := f.Buckets()
+	if len(buckets) == 0 {
+		return fmt.Errorf("no _bucket samples")
+	}
+	prevBound := math.Inf(-1)
+	prevCount := -1.0
+	sawInf := false
+	for _, b := range buckets {
+		le, ok := b.Labels["le"]
+		if !ok {
+			return fmt.Errorf("bucket without le label")
+		}
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("bucket le %q: %v", le, err)
+		}
+		if !(bound > prevBound) {
+			return fmt.Errorf("bucket bounds not strictly increasing at le=%q", le)
+		}
+		if b.Value < prevCount {
+			return fmt.Errorf("cumulative bucket counts decrease at le=%q", le)
+		}
+		prevBound, prevCount = bound, b.Value
+		sawInf = math.IsInf(bound, +1)
+	}
+	if !sawInf {
+		return fmt.Errorf("missing terminal +Inf bucket")
+	}
+	count, ok := f.Sample(f.Name + "_count")
+	if !ok {
+		return fmt.Errorf("missing _count sample")
+	}
+	if count.Value != prevCount {
+		return fmt.Errorf("_count %v != +Inf bucket %v", count.Value, prevCount)
+	}
+	if _, ok := f.Sample(f.Name + "_sum"); !ok {
+		return fmt.Errorf("missing _sum sample")
+	}
+	return nil
+}
+
+func sampleKey(s PromSample) string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "|%s=%s", k, s.Labels[k])
+	}
+	return b.String()
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == ':' ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	return validMetricName(s) && !strings.Contains(s, ":")
+}
+
+// parseSampleLine parses `name[{labels}] value [timestamp]`.
+func parseSampleLine(line string) (PromSample, error) {
+	s := PromSample{}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote, escaped := false, false
+		for j := 1; j < len(rest); j++ {
+			c := rest[j]
+			switch {
+			case escaped:
+				escaped = false
+			case c == '\\' && inQuote:
+				escaped = true
+			case c == '"':
+				inQuote = !inQuote
+			case c == '}' && !inQuote:
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set")
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("want `value [timestamp]` after name, got %q", rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+func parseLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=' in %q", s)
+		}
+		name := s[:eq]
+		if !validLabelName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, fmt.Errorf("unquoted label value for %q", name)
+		}
+		var b strings.Builder
+		j := 1
+		closed := false
+		for j < len(s) {
+			c := s[j]
+			if c == '\\' && j+1 < len(s) {
+				switch s[j+1] {
+				case 'n':
+					b.WriteByte('\n')
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %q", s[j+1], name)
+				}
+				j += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				j++
+				break
+			}
+			b.WriteByte(c)
+			j++
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value for %q", name)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = b.String()
+		s = s[j:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return out, nil
+}

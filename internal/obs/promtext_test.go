@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with every encoder feature exercised:
+// counters, gauges, names needing sanitization, a help string needing
+// escaping, and a histogram with deterministic observations.
+func goldenRegistry() *Registry {
+	g := NewRegistry()
+	g.Add("server",
+		Count("requests", 42),
+		M("admission_width", 8),
+	)
+	g.Add("experiments.pool", // '.' must sanitize to '_'
+		Count("tasks", 17),
+		M("9lives", 1), // leading digit must gain a '_' prefix
+	)
+	h := NewHistogram("request_seconds",
+		"end-to-end /v1/simulate latency; escapes: back\\slash and\nnewline",
+		[]float64{0.001, 0.01, 0.1, 1})
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 0.5, 3} {
+		h.Observe(v)
+	}
+	g.AddHistogram("server.latency", h)
+	return g
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf, "mesad"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	// Round-trip: the golden bytes must parse cleanly and reproduce the
+	// encoded values.
+	fams, err := ParsePrometheus(want)
+	if err != nil {
+		t.Fatalf("golden does not parse: %v", err)
+	}
+	reqs, ok := fams["mesad_server_requests"]
+	if !ok || reqs.Type != "counter" {
+		t.Fatalf("mesad_server_requests missing or wrong type: %+v", reqs)
+	}
+	if s, _ := reqs.Sample("mesad_server_requests"); s.Value != 42 {
+		t.Errorf("requests = %v, want 42", s.Value)
+	}
+	gauge, ok := fams["mesad_server_admission_width"]
+	if !ok || gauge.Type != "gauge" {
+		t.Fatalf("admission_width missing or wrong type: %+v", gauge)
+	}
+	if _, ok := fams["mesad_experiments_pool_tasks"]; !ok {
+		t.Error("section name not sanitized to mesad_experiments_pool_tasks")
+	}
+	// The digit is interior after the ns_section_name join, so no prefix is
+	// needed (the leading-digit case is covered by TestSanitizeNames).
+	if _, ok := fams["mesad_experiments_pool_9lives"]; !ok {
+		t.Error("metric name with digit start not joined/sanitized as expected")
+	}
+	hist, ok := fams["mesad_request_seconds"]
+	if !ok || hist.Type != "histogram" {
+		t.Fatalf("histogram family missing: %+v", hist)
+	}
+	if !strings.Contains(hist.Help, `back\slash`) {
+		t.Errorf("help not round-tripped: %q", hist.Help)
+	}
+	if c, _ := hist.Sample("mesad_request_seconds_count"); c.Value != 6 {
+		t.Errorf("histogram count = %v, want 6", c.Value)
+	}
+	buckets := hist.Buckets()
+	if len(buckets) != 5 { // 4 bounds + +Inf
+		t.Fatalf("bucket count = %d, want 5", len(buckets))
+	}
+	if le := buckets[len(buckets)-1].Labels["le"]; le != "+Inf" {
+		t.Errorf("terminal bucket le = %q", le)
+	}
+}
+
+// TestPrometheusStableOrdering: two encodings of the same registry are
+// byte-identical, and family names appear sorted.
+func TestPrometheusStableOrdering(t *testing.T) {
+	g := goldenRegistry()
+	var a, b bytes.Buffer
+	if err := g.WritePrometheus(&a, "mesad"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WritePrometheus(&b, "mesad"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two encodings of a quiesced registry differ")
+	}
+	var prev string
+	for _, line := range strings.Split(a.String(), "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		name := strings.Fields(line)[2]
+		if prev != "" && name < prev {
+			t.Errorf("family %q emitted after %q: not sorted", name, prev)
+		}
+		prev = name
+	}
+}
+
+func TestSanitizeNames(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"requests", "requests"},
+		{"experiments.pool", "experiments_pool"},
+		{"9lives", "_9lives"},
+		{"a-b c/d", "a_b_c_d"},
+		{"", "_"},
+		{"ünïcode", "_n_code"}, // rune-wise: one '_' per invalid rune
+	} {
+		if got := SanitizeMetricName(tc.in); got != tc.want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	if got := SanitizeLabelName("a:b"); got != "a_b" {
+		t.Errorf("SanitizeLabelName(a:b) = %q, want a_b", got)
+	}
+}
+
+// TestParsePrometheusRejectsMalformed: every malformed shape the smoke gate
+// must catch.
+func TestParsePrometheusRejectsMalformed(t *testing.T) {
+	for name, text := range map[string]string{
+		"bad sample name":    "1bad 3\n",
+		"missing value":      "good_name\n",
+		"bad value":          "good_name abc\n",
+		"unterminated label": "x{le=\"1 3\n",
+		"unquoted label":     "x{le=1} 3\n",
+		"bad type":           "# TYPE x flugel\n",
+		"duplicate sample":   "x 1\nx 2\n",
+		"type after samples": "x 1\n# TYPE x gauge\n",
+		"buckets decrease": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"bounds not increasing": "# TYPE h histogram\n" +
+			"h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+		"missing +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"count mismatch": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"missing sum": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ParsePrometheus([]byte(text)); err == nil {
+				t.Errorf("parsed without error:\n%s", text)
+			}
+		})
+	}
+}
+
+func TestParsePrometheusLabelEscapes(t *testing.T) {
+	fams, err := ParsePrometheus([]byte("x{l=\"a\\\\b\\\"c\\nd\"} 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fams["x"].Samples[0]
+	if s.Labels["l"] != "a\\b\"c\nd" {
+		t.Errorf("label value = %q", s.Labels["l"])
+	}
+}
+
+func TestFormatPromValue(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{1, "1"},
+		{0.001, "0.001"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+	} {
+		if got := formatPromValue(tc.v); got != tc.want {
+			t.Errorf("formatPromValue(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+// TestNilRegistryPrometheus: the nil handle writes nothing, like WriteJSON.
+func TestNilRegistryPrometheus(t *testing.T) {
+	var g *Registry
+	var buf bytes.Buffer
+	if err := g.WritePrometheus(&buf, "mesad"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil registry wrote %q", buf.String())
+	}
+	g.AddHistogram("s", NewHistogram("h", "", []float64{1}))
+}

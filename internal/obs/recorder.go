@@ -23,6 +23,7 @@ const (
 	PIDController = 2 // MESA controller FSM phases
 	PIDAccel      = 3 // accelerator node firings, NoC waits, port grants
 	PIDCPUTiming  = 4 // standalone CPU timing-model runs
+	PIDServer     = 5 // mesad request spans (wall-clock, not simulated cycles)
 )
 
 // Event is one trace record. Timestamps and durations are in simulated

@@ -7,18 +7,32 @@ import (
 	"sync"
 )
 
+// MetricKind classifies a metric for exporters that distinguish
+// monotonically increasing counters from point-in-time gauges (the
+// Prometheus encoder). The JSON report ignores the kind, so adding it never
+// changed a serialized byte.
+type MetricKind uint8
+
+const (
+	KindGauge MetricKind = iota
+	KindCounter
+)
+
 // Metric is one named numeric measurement. float64 represents every counter
 // in the simulator exactly (they stay far below 2^53).
 type Metric struct {
-	Name  string  `json:"name"`
-	Value float64 `json:"value"`
+	Name  string     `json:"name"`
+	Value float64    `json:"value"`
+	Kind  MetricKind `json:"-"`
 }
 
-// M builds a Metric.
+// M builds a gauge Metric.
 func M(name string, value float64) Metric { return Metric{Name: name, Value: value} }
 
-// Count builds a Metric from an integer counter.
-func Count(name string, value uint64) Metric { return Metric{Name: name, Value: float64(value)} }
+// Count builds a counter Metric from an integer counter.
+func Count(name string, value uint64) Metric {
+	return Metric{Name: name, Value: float64(value), Kind: KindCounter}
+}
 
 // Section groups the metrics of one counter surface.
 type Section struct {
@@ -33,10 +47,16 @@ type Section struct {
 type Registry struct {
 	mu       sync.Mutex
 	sections map[string][]Metric
+	hists    map[string][]*Histogram
 }
 
 // NewRegistry returns an enabled registry.
-func NewRegistry() *Registry { return &Registry{sections: make(map[string][]Metric)} }
+func NewRegistry() *Registry {
+	return &Registry{
+		sections: make(map[string][]Metric),
+		hists:    make(map[string][]*Histogram),
+	}
+}
 
 // Enabled reports whether Add calls are kept.
 func (g *Registry) Enabled() bool { return g != nil }
@@ -52,9 +72,89 @@ func (g *Registry) Add(section string, ms ...Metric) {
 	g.mu.Unlock()
 }
 
+// AddHistogram registers live histogram handles under the named section.
+// Unlike Add, which copies values, a registered histogram is snapshotted at
+// every Report/WritePrometheus call, so one long-lived handle can back many
+// scrapes. Nil handles are skipped; no-op on a nil registry.
+func (g *Registry) AddHistogram(section string, hs ...*Histogram) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	for _, h := range hs {
+		if h != nil {
+			g.hists[section] = append(g.hists[section], h)
+		}
+	}
+	g.mu.Unlock()
+}
+
 // Report returns the collected sections sorted by name, each section's
 // metrics sorted by name (stable, so duplicates keep insertion order).
+// Registered histograms contribute their flat summary metrics
+// (<name>_count/_sum/_p50/_p90/_p99) to their section.
 func (g *Registry) Report() []Section {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Section, 0, len(g.sections)+len(g.hists))
+	seen := make(map[string]bool, len(g.sections))
+	for name, ms := range g.sections {
+		seen[name] = true
+		sorted := append([]Metric(nil), ms...)
+		for _, h := range g.hists[name] {
+			sorted = append(sorted, h.Snapshot().SummaryMetrics()...)
+		}
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+		out = append(out, Section{Name: name, Metrics: sorted})
+	}
+	for name, hs := range g.hists {
+		if seen[name] {
+			continue
+		}
+		var ms []Metric
+		for _, h := range hs {
+			ms = append(ms, h.Snapshot().SummaryMetrics()...)
+		}
+		sort.SliceStable(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+		out = append(out, Section{Name: name, Metrics: ms})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// histogramSnapshots returns the registered histograms' snapshots grouped
+// and sorted by section then histogram name (the Prometheus encoder's
+// iteration order).
+func (g *Registry) histogramSnapshots() []HistogramSnapshot {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	sections := make([]string, 0, len(g.hists))
+	for name := range g.hists {
+		sections = append(sections, name)
+	}
+	sort.Strings(sections)
+	var out []HistogramSnapshot
+	for _, sec := range sections {
+		snaps := make([]HistogramSnapshot, 0, len(g.hists[sec]))
+		for _, h := range g.hists[sec] {
+			snaps = append(snaps, h.Snapshot())
+		}
+		sort.SliceStable(snaps, func(i, j int) bool { return snaps[i].Name < snaps[j].Name })
+		out = append(out, snaps...)
+	}
+	return out
+}
+
+// plainSections is Report without the histogram summaries: the Prometheus
+// encoder renders histograms natively from their bucket series, so their
+// flat projections must not appear twice.
+func (g *Registry) plainSections() []Section {
 	if g == nil {
 		return nil
 	}

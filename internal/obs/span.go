@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one wall-clock-timed operation in a request's span tree: the
+// service-side analogue of a simulation trace slice. A root span covers a
+// whole request; children cover its stages (queue wait, disk store, the
+// simulation itself, encoding). Spans reuse the Chrome-trace Recorder
+// writer, so server spans render on the same Perfetto timeline as
+// simulation cycles — on their own process track (PIDServer).
+//
+// A nil *Span is a valid disabled handle: every method no-ops (Child returns
+// nil), so instrumentation can be threaded unconditionally.
+//
+// Span timestamps are wall-clock (time.Now), unlike Recorder events whose
+// unit is simulated cycles. The two clocks meet only in Perfetto, where each
+// track is read in its own unit.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    []spanAttr
+	children []*Span
+}
+
+type spanAttr struct {
+	key string
+	val any
+}
+
+// StartSpan opens a root span now.
+func StartSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child opens a sub-span now and links it under s. Returns nil on a nil
+// receiver so disabled instrumentation composes.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span. The first call wins; later calls no-op, so a span can
+// be ended defensively on every exit path.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr attaches a key/value argument. Repeated keys keep the last value.
+func (s *Span) SetAttr(key string, val any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].key == key {
+			s.attrs[i].val = val
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.attrs = append(s.attrs, spanAttr{key, val})
+	s.mu.Unlock()
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// StartTime returns the span's opening wall-clock time (zero on nil).
+func (s *Span) StartTime() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// Duration returns end−start for an ended span, or the elapsed time so far
+// for a live one (0 on nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	end := s.end
+	s.mu.Unlock()
+	if end.IsZero() {
+		return time.Since(s.start)
+	}
+	return end.Sub(s.start)
+}
+
+// Attrs returns a sorted-copy snapshot of the span's arguments (nil on nil
+// or when empty).
+func (s *Span) Attrs() map[string]any {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(s.attrs))
+	for _, a := range s.attrs {
+		m[a.key] = a.val
+	}
+	return m
+}
+
+// SpanNode is the JSON projection of a span tree: start offsets are relative
+// to the tree's root so the document carries no absolute wall-clock values
+// beyond the root's own metadata.
+type SpanNode struct {
+	Name            string         `json:"name"`
+	StartSeconds    float64        `json:"start_seconds"` // offset from the root span's start
+	DurationSeconds float64        `json:"duration_seconds"`
+	Attrs           map[string]any `json:"attrs,omitempty"`
+	Children        []*SpanNode    `json:"children,omitempty"`
+}
+
+// Node snapshots the span tree rooted at s (nil on a nil span).
+func (s *Span) Node() *SpanNode {
+	if s == nil {
+		return nil
+	}
+	return s.node(s.start)
+}
+
+func (s *Span) node(base time.Time) *SpanNode {
+	s.mu.Lock()
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	n := &SpanNode{
+		Name:            s.name,
+		StartSeconds:    s.start.Sub(base).Seconds(),
+		DurationSeconds: s.Duration().Seconds(),
+		Attrs:           s.Attrs(),
+	}
+	for _, c := range children {
+		n.Children = append(n.Children, c.node(base))
+	}
+	return n
+}
+
+// EmitTrace appends the span tree as Chrome complete events on the given
+// process track: timestamps are microseconds since base, so one displayed
+// microsecond is one wall-clock microsecond. Children share the parent's
+// thread track; Perfetto nests complete events whose intervals nest.
+func (s *Span) EmitTrace(rec *Recorder, pid int32, base time.Time) {
+	if s == nil || !rec.Enabled() {
+		return
+	}
+	ts := float64(s.start.Sub(base).Nanoseconds()) / 1e3
+	dur := float64(s.Duration().Nanoseconds()) / 1e3
+	var args map[string]any
+	if attrs := s.Attrs(); len(attrs) > 0 {
+		args = attrs
+	}
+	rec.CompleteArgs(pid, 0, "server", s.name, ts, dur, args)
+	s.mu.Lock()
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		c.EmitTrace(rec, pid, base)
+	}
+}
+
+// WriteTrace writes the span tree as a standalone Chrome trace-event JSON
+// document on the PIDServer track, with the process named so merged
+// server+simulation traces label every track in Perfetto.
+func (s *Span) WriteTrace(w io.Writer, processName string) error {
+	rec := NewRecorder()
+	rec.NameProcess(PIDServer, processName)
+	s.EmitTrace(rec, PIDServer, s.StartTime())
+	return rec.WriteTrace(w)
+}
+
+// FlightRecorder keeps the span trees of the N slowest recorded requests, so
+// an anomalously slow request's full stage breakdown can be inspected after
+// the fact (GET /debug/requests) without tracing every request. It is
+// bounded: recording is O(capacity) and memory never grows past the N
+// retained trees. A nil *FlightRecorder no-ops.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*FlightEntry
+}
+
+// FlightEntry is one retained request.
+type FlightEntry struct {
+	ID       string
+	Span     *Span
+	Duration time.Duration
+}
+
+// NewFlightRecorder returns a recorder retaining the n slowest requests
+// (n < 1 selects 32).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n < 1 {
+		n = 32
+	}
+	return &FlightRecorder{cap: n, entries: make(map[string]*FlightEntry, n)}
+}
+
+// Record offers an ended span tree under the given request id. It is kept if
+// the recorder has room or the request outlasted the current fastest
+// retained one; re-recording an id replaces the earlier tree (latest wins —
+// the id is being actively debugged).
+func (f *FlightRecorder) Record(id string, root *Span) {
+	if f == nil || root == nil || id == "" {
+		return
+	}
+	e := &FlightEntry{ID: id, Span: root, Duration: root.Duration()}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.entries[id]; ok || len(f.entries) < f.cap {
+		f.entries[id] = e
+		return
+	}
+	// Full: displace the fastest retained entry if this one is slower.
+	var fastest *FlightEntry
+	for _, cur := range f.entries {
+		if fastest == nil || cur.Duration < fastest.Duration {
+			fastest = cur
+		}
+	}
+	if fastest != nil && e.Duration > fastest.Duration {
+		delete(f.entries, fastest.ID)
+		f.entries[id] = e
+	}
+}
+
+// Get returns the retained entry for id.
+func (f *FlightRecorder) Get(id string) (*FlightEntry, bool) {
+	if f == nil {
+		return nil, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, ok := f.entries[id]
+	return e, ok
+}
+
+// Snapshot returns the retained entries slowest-first (ties broken by id so
+// the listing is stable).
+func (f *FlightRecorder) Snapshot() []*FlightEntry {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	out := make([]*FlightEntry, 0, len(f.entries))
+	for _, e := range f.entries {
+		out = append(out, e)
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Duration != out[j].Duration {
+			return out[i].Duration > out[j].Duration
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

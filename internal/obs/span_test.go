@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeAndNesting(t *testing.T) {
+	root := StartSpan("request")
+	root.SetAttr("request_id", "abc")
+	a := root.Child("queue")
+	a.End()
+	b := root.Child("simulate")
+	c := b.Child("memo")
+	c.End()
+	b.End()
+	root.End()
+
+	n := root.Node()
+	if n.Name != "request" || len(n.Children) != 2 {
+		t.Fatalf("unexpected tree: %+v", n)
+	}
+	if n.Attrs["request_id"] != "abc" {
+		t.Errorf("root attrs = %v", n.Attrs)
+	}
+	if len(n.Children[1].Children) != 1 || n.Children[1].Children[0].Name != "memo" {
+		t.Errorf("grandchild missing: %+v", n.Children[1])
+	}
+	// Children start at or after the root and fit inside its duration.
+	for _, ch := range n.Children {
+		if ch.StartSeconds < 0 {
+			t.Errorf("child %s starts before root", ch.Name)
+		}
+		if ch.StartSeconds+ch.DurationSeconds > n.DurationSeconds+1e-9 {
+			t.Errorf("child %s [%v+%v] exceeds root duration %v",
+				ch.Name, ch.StartSeconds, ch.DurationSeconds, n.DurationSeconds)
+		}
+	}
+}
+
+func TestSpanNilSafe(t *testing.T) {
+	var s *Span
+	s.End()
+	s.SetAttr("k", 1)
+	if c := s.Child("x"); c != nil {
+		t.Error("nil span produced a child")
+	}
+	if s.Duration() != 0 || s.Node() != nil || s.Name() != "" || s.Attrs() != nil {
+		t.Error("nil span not inert")
+	}
+	s.EmitTrace(NewRecorder(), PIDServer, time.Time{})
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	s := StartSpan("x")
+	s.End()
+	d := s.Duration()
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if s.Duration() != d {
+		t.Error("second End moved the recorded end time")
+	}
+}
+
+// TestSpanWriteTrace: the emitted document is valid Chrome trace JSON on the
+// PIDServer track, the process is named, and child complete events nest
+// inside their parents.
+func TestSpanWriteTrace(t *testing.T) {
+	root := StartSpan("request")
+	child := root.Child("simulate")
+	time.Sleep(time.Millisecond)
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := root.WriteTrace(&buf, "mesad server"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int32          `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid trace JSON: %v", err)
+	}
+	var namedServer bool
+	type iv struct{ ts, dur float64 }
+	spans := map[string]iv{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" && ev.PID == PIDServer {
+			if ev.Args["name"] == "mesad server" {
+				namedServer = true
+			}
+		}
+		if ev.Ph == "X" {
+			if ev.PID != PIDServer {
+				t.Errorf("span %s on pid %d, want %d", ev.Name, ev.PID, PIDServer)
+			}
+			spans[ev.Name] = iv{ev.TS, ev.Dur}
+		}
+	}
+	if !namedServer {
+		t.Error("PIDServer track not named")
+	}
+	req, ok1 := spans["request"]
+	sim, ok2 := spans["simulate"]
+	if !ok1 || !ok2 {
+		t.Fatalf("missing spans: %v", spans)
+	}
+	if sim.ts < req.ts-1e-6 || sim.ts+sim.dur > req.ts+req.dur+1e-6 {
+		t.Errorf("child [%v,%v] not nested in parent [%v,%v]",
+			sim.ts, sim.ts+sim.dur, req.ts, req.ts+req.dur)
+	}
+}
+
+func TestFlightRecorderKeepsSlowest(t *testing.T) {
+	f := NewFlightRecorder(2)
+	mk := func(id string, d time.Duration) *Span {
+		s := StartSpan("request")
+		s.mu.Lock()
+		s.end = s.start.Add(d)
+		s.mu.Unlock()
+		return s
+	}
+	f.Record("fast", mk("fast", 10*time.Millisecond))
+	f.Record("slow", mk("slow", 500*time.Millisecond))
+	f.Record("mid", mk("mid", 100*time.Millisecond)) // displaces "fast"
+	f.Record("tiny", mk("tiny", time.Millisecond))   // too fast: dropped
+
+	if _, ok := f.Get("fast"); ok {
+		t.Error("fast entry survived displacement")
+	}
+	if _, ok := f.Get("tiny"); ok {
+		t.Error("tiny entry was kept over slower ones")
+	}
+	snap := f.Snapshot()
+	if len(snap) != 2 || snap[0].ID != "slow" || snap[1].ID != "mid" {
+		ids := []string{}
+		for _, e := range snap {
+			ids = append(ids, e.ID)
+		}
+		t.Errorf("snapshot order = %v, want [slow mid]", ids)
+	}
+
+	// Re-recording an id replaces its tree even when full.
+	f.Record("mid", mk("mid", 200*time.Millisecond))
+	if e, _ := f.Get("mid"); e.Duration != 200*time.Millisecond {
+		t.Errorf("re-record kept stale duration %v", e.Duration)
+	}
+
+	// Nil handle no-ops.
+	var nilf *FlightRecorder
+	nilf.Record("x", mk("x", time.Second))
+	if nilf.Snapshot() != nil {
+		t.Error("nil flight recorder produced entries")
+	}
+}

@@ -1,0 +1,323 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mesa/internal/experiments"
+	"mesa/internal/obs"
+)
+
+// TestRequestObservabilityE2E is the acceptance check for the observability
+// layer, end to end over a real HTTP round trip: a simulate request with a
+// client-supplied X-Request-ID must echo the id, emit exactly one structured
+// log line carrying every stage timing, bump the Prometheus request
+// histogram by one with monotone buckets, serve a valid nested Chrome trace
+// for that id — and leave the response body byte-identical to the direct
+// library call.
+func TestRequestObservabilityE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	experiments.ResetSimMemo()
+	defer experiments.ResetSimMemo()
+
+	var logBuf syncBuffer
+	srv := New(Config{
+		Logger:     slog.New(slog.NewJSONHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelInfo})),
+		FlightSize: 8,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := `{"kernel":"nn"}`
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/simulate", strings.NewReader(body))
+	req.Header.Set("X-Request-ID", "test-123")
+	res, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respBody, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("simulate: status %d: %s", res.StatusCode, respBody)
+	}
+	if got := res.Header.Get("X-Request-ID"); got != "test-123" {
+		t.Errorf("X-Request-ID = %q, want propagated test-123", got)
+	}
+
+	// Body byte-identity: instrumentation must not touch response bytes.
+	direct, err := srv.Simulate(&Request{Kernel: "nn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := EncodeResponse(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(respBody, want) {
+		t.Errorf("served body differs from direct library call\nserved: %s\ndirect: %s", respBody, want)
+	}
+
+	// Exactly one Info log line for the request, with every stage timing.
+	var reqLines []map[string]any
+	for _, line := range strings.Split(logBuf.String(), "\n") {
+		if !strings.Contains(line, "test-123") {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("log line is not JSON: %q: %v", line, err)
+		}
+		reqLines = append(reqLines, m)
+	}
+	if len(reqLines) != 1 {
+		t.Fatalf("got %d log lines mentioning test-123, want exactly 1:\n%s", len(reqLines), logBuf.String())
+	}
+	line := reqLines[0]
+	for _, field := range []string{"id", "route", "method", "status", "kernel", "backend", "mapper",
+		"cache", "dur_ms", "queue_ms", "disk_ms", "simulate_ms", "encode_ms"} {
+		if _, ok := line[field]; !ok {
+			t.Errorf("log line missing field %q: %v", field, line)
+		}
+	}
+	if line["id"] != "test-123" || line["route"] != "/v1/simulate" || line["kernel"] != "nn" {
+		t.Errorf("log line identity fields wrong: %v", line)
+	}
+	if line["cache"] != "miss" {
+		t.Errorf("cold request logged cache=%v, want miss", line["cache"])
+	}
+
+	// Prometheus: the request histogram counted exactly this one simulate
+	// request (scrapes themselves must not count), with monotone buckets —
+	// ParsePrometheus rejects any non-monotone or truncated histogram.
+	promReq, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	promReq.Header.Set("Accept", "text/plain")
+	promRes, err := ts.Client().Do(promReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBody, _ := io.ReadAll(promRes.Body)
+	promRes.Body.Close()
+	fams, err := obs.ParsePrometheus(promBody)
+	if err != nil {
+		t.Fatalf("exposition malformed: %v\n%s", err, promBody)
+	}
+	hist, ok := fams["mesad_request_seconds"]
+	if !ok || hist.Type != "histogram" {
+		t.Fatal("mesad_request_seconds histogram missing from exposition")
+	}
+	if c, _ := hist.Sample("mesad_request_seconds_count"); c.Value != 1 {
+		t.Errorf("mesad_request_seconds_count = %v, want 1 (scrapes must not count)", c.Value)
+	}
+
+	// The flight recorder retained the request and serves a valid Chrome
+	// trace whose stage spans nest inside the root.
+	tres, err := ts.Client().Get(ts.URL + "/debug/requests/test-123/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceBody, _ := io.ReadAll(tres.Body)
+	tres.Body.Close()
+	if tres.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch: status %d: %s", tres.StatusCode, traceBody)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int32   `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceBody, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	type iv struct{ ts, dur float64 }
+	spans := map[string]iv{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			if ev.PID != obs.PIDServer {
+				t.Errorf("span %q on pid %d, want PIDServer", ev.Name, ev.PID)
+			}
+			spans[ev.Name] = iv{ev.TS, ev.Dur}
+		}
+	}
+	root, ok := spans["request /v1/simulate"]
+	if !ok {
+		t.Fatalf("root span missing; spans: %v", spans)
+	}
+	for _, stage := range []string{"queue", "simulate", "encode"} {
+		child, ok := spans[stage]
+		if !ok {
+			t.Errorf("stage span %q missing", stage)
+			continue
+		}
+		if child.ts < root.ts-1e-6 || child.ts+child.dur > root.ts+root.dur+1e-6 {
+			t.Errorf("stage %q [%v,%v] not nested in root [%v,%v]",
+				stage, child.ts, child.ts+child.dur, root.ts, root.ts+root.dur)
+		}
+	}
+
+	// /debug/requests lists the retained id, slowest first.
+	dres, err := ts.Client().Get(ts.URL + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flights []struct {
+		ID   string        `json:"id"`
+		Root *obs.SpanNode `json:"root"`
+	}
+	derr := json.NewDecoder(dres.Body).Decode(&flights)
+	dres.Body.Close()
+	if derr != nil || len(flights) != 1 || flights[0].ID != "test-123" || flights[0].Root == nil {
+		t.Errorf("/debug/requests = %+v (err %v), want the one retained request", flights, derr)
+	}
+}
+
+// syncBuffer is a mutex-free stand-in: slog's JSONHandler serializes writes
+// internally, and the test only reads after the round trip completes.
+type syncBuffer struct{ bytes.Buffer }
+
+// TestHealthzJSON: the health body carries uptime/capacity numbers, and a
+// draining server flips to 503/ok=false so load balancers eject it.
+func TestHealthzJSON(t *testing.T) {
+	srv := New(Config{Admission: 3, QueueDepth: 7})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func() (int, map[string]any) {
+		t.Helper()
+		res, err := ts.Client().Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(res.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return res.StatusCode, m
+	}
+
+	status, m := get()
+	if status != http.StatusOK || m["ok"] != true || m["draining"] != false {
+		t.Errorf("healthy: status %d body %v", status, m)
+	}
+	if m["admission_width"] != 3.0 || m["queue_depth"] != 7.0 {
+		t.Errorf("capacity fields wrong: %v", m)
+	}
+	if _, ok := m["uptime_seconds"]; !ok {
+		t.Error("uptime_seconds missing")
+	}
+	if _, ok := m["inflight"]; !ok {
+		t.Error("inflight missing")
+	}
+
+	srv.Drain()
+	status, m = get()
+	if status != http.StatusServiceUnavailable || m["ok"] != false || m["draining"] != true {
+		t.Errorf("draining: status %d body %v, want 503/ok=false/draining=true", status, m)
+	}
+}
+
+// TestMetricsNegotiation: default stays the JSON registry report; an Accept
+// asking for text/plain selects the Prometheus exposition.
+func TestMetricsNegotiation(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	res, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonBody, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("default content type %q, want application/json", ct)
+	}
+	var report struct {
+		Sections []struct {
+			Name string `json:"name"`
+		} `json:"sections"`
+	}
+	if err := json.Unmarshal(jsonBody, &report); err != nil {
+		t.Fatalf("JSON report: %v", err)
+	}
+	var hasLatency bool
+	for _, s := range report.Sections {
+		if s.Name == "server.latency" {
+			hasLatency = true
+		}
+	}
+	if !hasLatency {
+		t.Error("JSON report missing server.latency section")
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	res, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBody, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Errorf("prometheus content type %q, want %q", ct, obs.PromContentType)
+	}
+	fams, err := obs.ParsePrometheus(promBody)
+	if err != nil {
+		t.Fatalf("exposition malformed: %v", err)
+	}
+	for _, want := range []string{"mesad_server_requests", "mesad_request_seconds", "mesad_sim_run_seconds"} {
+		if _, ok := fams[want]; !ok {
+			t.Errorf("exposition missing family %q", want)
+		}
+	}
+}
+
+// TestDebugTraceUnknownID: an unretained id is a JSON 404, not a panic or an
+// empty 200.
+func TestDebugTraceUnknownID(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	res, err := ts.Client().Get(ts.URL + "/debug/requests/nope/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d, want 404", res.StatusCode)
+	}
+	var e Error
+	if err := json.NewDecoder(res.Body).Decode(&e); err != nil || e.Status != http.StatusNotFound {
+		t.Errorf("error body %+v (err %v), want JSON 404", e, err)
+	}
+}
+
+// TestRequestIDGenerated: a request without X-Request-ID gets a generated id
+// echoed on the response.
+func TestRequestIDGenerated(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	res, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if id := res.Header.Get("X-Request-ID"); len(id) != 16 {
+		t.Errorf("generated X-Request-ID = %q, want 16 hex chars", id)
+	}
+}

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"io"
+	"log/slog"
 	"net/http/httptest"
 	"testing"
 
@@ -23,8 +25,14 @@ func TestLoadGenByteIdentity(t *testing.T) {
 
 	// Admission matches the client count so the gate serializes work without
 	// ever rejecting: this test is about byte-identity, not backpressure
-	// (TestHandlerQueueFull covers rejection).
-	srv := New(Config{Admission: 8})
+	// (TestHandlerQueueFull covers rejection). The server runs fully
+	// instrumented — logging, spans, histograms, flight recorder — because
+	// byte-identity must hold with observability on, not just off.
+	srv := New(Config{
+		Admission:  8,
+		Logger:     slog.New(slog.NewJSONHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelDebug})),
+		FlightSize: 16,
+	})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

@@ -26,8 +26,10 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"mesa/internal/accel"
 	"mesa/internal/cpu"
@@ -140,6 +142,13 @@ type Config struct {
 	// Store, when non-nil, caches encoded response bytes content-addressed
 	// by the request fingerprint, so warm responses survive restarts.
 	Store *experiments.DiskStore
+	// Logger, when non-nil, receives one structured line per request
+	// (simulate requests at Info, scrapes and debug reads at Debug).
+	Logger *slog.Logger
+	// FlightSize bounds the slow-request flight recorder: the N slowest
+	// /v1/simulate span trees are retained for GET /debug/requests
+	// (<1 selects 64).
+	FlightSize int
 }
 
 // Server is the mesad HTTP service. Create with New, mount Handler, and call
@@ -162,6 +171,11 @@ type Server struct {
 	respDiskHits     atomic.Uint64
 	respDiskWrites   atomic.Uint64
 	panics           atomic.Uint64
+
+	start   time.Time
+	logger  *slog.Logger
+	flight  *obs.FlightRecorder
+	latency map[string]*obs.Histogram // "request" + stage names -> histogram
 }
 
 // New builds a Server.
@@ -172,30 +186,43 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth < 1 {
 		cfg.QueueDepth = 4 * cfg.Admission
 	}
+	if cfg.FlightSize < 1 {
+		cfg.FlightSize = 64
+	}
 	s := &Server{
 		cfg:        cfg,
 		gate:       make(chan struct{}, cfg.Admission),
 		queueLimit: int64(cfg.QueueDepth),
+		start:      time.Now(),
+		logger:     cfg.Logger,
+		flight:     obs.NewFlightRecorder(cfg.FlightSize),
+		latency:    newLatencyHistograms(),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("/v1/kernels", s.handleKernels)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("GET /debug/requests/{id}/trace", s.handleDebugTrace)
 	return s
 }
 
 // Handler returns the service's HTTP handler (panic-safe: a panicking
-// request becomes a 500 JSON error, never a torn connection).
+// request becomes a 500 JSON error, never a torn connection). Every request
+// runs inside a track: root span, request id, latency histograms, and one
+// structured log line — all without touching response bodies.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t := s.startTrack(w, r)
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.panics.Add(1)
-				s.writeError(w, errf(http.StatusInternalServerError, "internal error: %v", rec))
+				s.writeError(t, errf(http.StatusInternalServerError, "internal error: %v", rec))
 			}
+			t.finish()
 		}()
-		s.mux.ServeHTTP(w, r)
+		s.mux.ServeHTTP(t, r)
 	})
 }
 
@@ -218,9 +245,34 @@ func (s *Server) writeError(w http.ResponseWriter, e *Error) {
 	json.NewEncoder(w).Encode(e)
 }
 
+// handleHealthz reports liveness plus the numbers an operator checks first:
+// uptime, drain state, in-flight and queued simulations, and the configured
+// capacity. A draining server answers 503 so load balancers stop routing to
+// it while in-flight work completes.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	draining := s.draining.Load()
+	h := struct {
+		OK             bool    `json:"ok"`
+		UptimeSeconds  float64 `json:"uptime_seconds"`
+		Draining       bool    `json:"draining"`
+		Inflight       int     `json:"inflight"`
+		Queued         int64   `json:"queued"`
+		AdmissionWidth int     `json:"admission_width"`
+		QueueDepth     int64   `json:"queue_depth"`
+	}{
+		OK:             !draining,
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Draining:       draining,
+		Inflight:       len(s.gate),
+		Queued:         s.queued.Load(),
+		AdmissionWidth: cap(s.gate),
+		QueueDepth:     s.queueLimit,
+	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, `{"ok":true}`)
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(h)
 }
 
 func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
@@ -243,8 +295,11 @@ func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves every counter surface of the process — server
-// admission/rejection/caching counters, the experiments worker pool, and the
-// simulation-result cache — as one obs.Registry JSON report.
+// admission/rejection/caching counters, wall-clock latency histograms, the
+// experiments worker pool, and the simulation-result cache. The default
+// rendering is the obs.Registry JSON report (unchanged); an Accept header
+// asking for text/plain or OpenMetrics selects the Prometheus text
+// exposition instead.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeError(w, errf(http.StatusMethodNotAllowed, "use GET"))
@@ -266,6 +321,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	)
 	reg.Add("experiments.pool", experiments.PoolMetrics()...)
 	reg.Add("experiments.memo", experiments.SimMemoMetrics()...)
+	reg.AddHistogram("server.latency",
+		s.latency["request"], s.latency[stageQueue], s.latency[stageDisk],
+		s.latency[stageSimulate], s.latency[stageEncode])
+	reg.AddHistogram("experiments.timing", experiments.SimTimingHistograms()...)
+	if wantsPrometheus(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		reg.WritePrometheus(w, "mesad")
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := reg.WriteJSON(w); err != nil {
 		// Headers are gone; nothing more to do than drop the connection.
@@ -297,6 +361,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, apiErr)
 		return
 	}
+	t := asTrack(w)
+	t.setWorkload(req.Kernel, norm.backend.Name, norm.mapper.Name())
 
 	// Admission: at most Admission simulations run, at most QueueDepth wait.
 	// The experiments worker pool bounds intra-request fan-out; this gate
@@ -307,13 +373,16 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, errf(http.StatusServiceUnavailable, "server is at capacity (queue full)"))
 		return
 	}
+	endQueue := t.stage(stageQueue)
 	select {
 	case s.gate <- struct{}{}:
 	case <-r.Context().Done():
+		endQueue()
 		s.queued.Add(-1)
 		s.writeError(w, errf(http.StatusServiceUnavailable, "request cancelled while queued"))
 		return
 	}
+	endQueue()
 	s.queued.Add(-1)
 	s.admitted.Add(1)
 	defer func() { <-s.gate }()
@@ -321,14 +390,20 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	// Response store: replay byte-exact warm bytes across restarts.
 	key := norm.fingerprint()
 	if s.cfg.Store != nil {
-		if data, ok, err := s.cfg.Store.Get(key); err == nil && ok {
+		endDisk := t.stage(stageDisk)
+		data, ok, err := s.cfg.Store.Get(key)
+		endDisk()
+		if err == nil && ok {
 			s.respDiskHits.Add(1)
+			t.setCache("disk")
 			writeResponseBytes(w, data, "disk")
 			return
 		}
 	}
 
+	endSim := t.stage(stageSimulate)
 	resp, err := simulate(norm)
+	endSim()
 	if err != nil {
 		if apiErr, ok := err.(*Error); ok {
 			s.writeError(w, apiErr)
@@ -337,7 +412,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	endEncode := t.stage(stageEncode)
 	data, mErr := EncodeResponse(resp)
+	endEncode()
 	if mErr != nil {
 		s.writeError(w, errf(http.StatusInternalServerError, "encode: %v", mErr))
 		return
@@ -347,6 +424,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			s.respDiskWrites.Add(1)
 		}
 	}
+	t.setCache("miss")
 	writeResponseBytes(w, data, "miss")
 }
 

@@ -1,0 +1,262 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"mesa/internal/obs"
+)
+
+// Request observability. Every request gets a root span, a generated-or-
+// propagated X-Request-ID, and a structured log line; /v1/simulate requests
+// additionally feed the wall-clock latency histograms and the slow-request
+// flight recorder. None of it touches response bodies: /v1/simulate bytes
+// stay a pure function of the request whether instrumentation is on or off.
+
+// requestIDHeader is propagated when the client sets it and generated (8
+// random bytes, hex) when it doesn't. It is echoed on every response.
+const requestIDHeader = "X-Request-ID"
+
+// stage names, shared by spans, histograms, and log fields.
+const (
+	stageQueue    = "queue"
+	stageDisk     = "disk"
+	stageSimulate = "simulate"
+	stageEncode   = "encode"
+)
+
+// newLatencyHistograms builds the server's wall-clock latency surface:
+// end-to-end request latency plus one histogram per pipeline stage.
+func newLatencyHistograms() map[string]*obs.Histogram {
+	mk := func(name, help string) *obs.Histogram {
+		return obs.NewHistogram(name, help, obs.LatencyBuckets())
+	}
+	return map[string]*obs.Histogram{
+		"request": mk("request_seconds",
+			"end-to-end /v1/simulate wall latency"),
+		stageQueue: mk("queue_seconds",
+			"time /v1/simulate requests waited for an admission slot"),
+		stageDisk: mk("disk_seconds",
+			"response-store lookup time (when a store is attached)"),
+		stageSimulate: mk("simulate_seconds",
+			"time inside the simulation layer (cold runs and memo waits)"),
+		stageEncode: mk("encode_seconds",
+			"response JSON encoding time"),
+	}
+}
+
+// track wraps a ResponseWriter for one request: it captures the status code,
+// owns the root span, and accumulates per-stage wall durations. A nil *track
+// is a valid disabled handle (handlers invoked with a bare ResponseWriter —
+// direct unit tests — skip instrumentation entirely).
+type track struct {
+	http.ResponseWriter
+	srv    *Server
+	req    *http.Request
+	id     string
+	span   *obs.Span
+	status int
+
+	mu      sync.Mutex
+	stages  map[string]float64 // stage -> seconds
+	cache   string             // X-Mesad-Cache disposition ("" until known)
+	kernel  string
+	mapper  string
+	backend string
+}
+
+// startTrack begins instrumentation for one request: resolves the request
+// id, sets the response header, and opens the root span.
+func (s *Server) startTrack(w http.ResponseWriter, r *http.Request) *track {
+	id := r.Header.Get(requestIDHeader)
+	if id == "" {
+		var b [8]byte
+		rand.Read(b[:])
+		id = hex.EncodeToString(b[:])
+	}
+	w.Header().Set(requestIDHeader, id)
+	sp := obs.StartSpan("request " + r.URL.Path)
+	sp.SetAttr("request_id", id)
+	sp.SetAttr("method", r.Method)
+	return &track{
+		ResponseWriter: w,
+		srv:            s,
+		req:            r,
+		id:             id,
+		span:           sp,
+		stages:         map[string]float64{},
+	}
+}
+
+func (t *track) WriteHeader(code int) {
+	if t.status == 0 {
+		t.status = code
+	}
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *track) Write(b []byte) (int, error) {
+	if t.status == 0 {
+		t.status = http.StatusOK
+	}
+	return t.ResponseWriter.Write(b)
+}
+
+// asTrack recovers the request's track from the ResponseWriter the mux passed
+// down. Handlers called with a plain writer get nil, and every method below
+// no-ops on nil.
+func asTrack(w http.ResponseWriter) *track {
+	t, _ := w.(*track)
+	return t
+}
+
+// stage opens a child span for one pipeline stage and returns its closer.
+// The closer records the stage's wall duration for histograms and the log
+// line.
+func (t *track) stage(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	sp := t.span.Child(name)
+	t0 := time.Now()
+	return func() {
+		sp.End()
+		d := time.Since(t0).Seconds()
+		t.mu.Lock()
+		t.stages[name] += d
+		t.mu.Unlock()
+	}
+}
+
+// setWorkload records the resolved workload identity for the span, the log
+// line, and the flight-recorder entry.
+func (t *track) setWorkload(kernel, backend, mapper string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.kernel, t.backend, t.mapper = kernel, backend, mapper
+	t.mu.Unlock()
+	if kernel != "" {
+		t.span.SetAttr("kernel", kernel)
+	}
+	t.span.SetAttr("backend", backend)
+	t.span.SetAttr("mapper", mapper)
+}
+
+// setCache records the X-Mesad-Cache disposition ("miss", "disk").
+func (t *track) setCache(disposition string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.cache = disposition
+	t.mu.Unlock()
+	t.span.SetAttr("cache", disposition)
+}
+
+// finish closes the root span, feeds the latency histograms and flight
+// recorder (simulate requests only), and emits the structured log line.
+func (t *track) finish() {
+	if t == nil {
+		return
+	}
+	t.span.End()
+	status := t.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	t.span.SetAttr("status", status)
+	dur := t.span.Duration().Seconds()
+
+	simulate := t.req.URL.Path == "/v1/simulate"
+	if simulate {
+		t.srv.latency["request"].Observe(dur)
+		t.mu.Lock()
+		for name, secs := range t.stages {
+			if h := t.srv.latency[name]; h != nil {
+				h.Observe(secs)
+			}
+		}
+		t.mu.Unlock()
+		t.srv.flight.Record(t.id, t.span)
+	}
+
+	if lg := t.srv.logger; lg != nil {
+		// Simulate requests log at Info; everything else (scrapes, debug
+		// reads) at Debug so steady-state logs are one line per simulation.
+		level := slog.LevelDebug
+		if simulate {
+			level = slog.LevelInfo
+		}
+		t.mu.Lock()
+		lg.LogAttrs(t.req.Context(), level, "request",
+			slog.String("id", t.id),
+			slog.String("route", t.req.URL.Path),
+			slog.String("method", t.req.Method),
+			slog.Int("status", status),
+			slog.String("kernel", t.kernel),
+			slog.String("backend", t.backend),
+			slog.String("mapper", t.mapper),
+			slog.String("cache", t.cache),
+			slog.Float64("dur_ms", dur*1e3),
+			slog.Float64("queue_ms", t.stages[stageQueue]*1e3),
+			slog.Float64("disk_ms", t.stages[stageDisk]*1e3),
+			slog.Float64("simulate_ms", t.stages[stageSimulate]*1e3),
+			slog.Float64("encode_ms", t.stages[stageEncode]*1e3),
+		)
+		t.mu.Unlock()
+	}
+}
+
+// wantsPrometheus implements /metrics content negotiation: any Accept header
+// asking for text/plain (or an OpenMetrics flavor) selects the Prometheus
+// text exposition; everything else keeps the original JSON report.
+func wantsPrometheus(accept string) bool {
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "openmetrics")
+}
+
+// handleDebugRequests serves the flight recorder's retained span trees,
+// slowest first.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		ID              string        `json:"id"`
+		DurationSeconds float64       `json:"duration_seconds"`
+		TracePath       string        `json:"trace_path"`
+		Root            *obs.SpanNode `json:"root"`
+	}
+	out := []entry{}
+	for _, e := range s.flight.Snapshot() {
+		out = append(out, entry{
+			ID:              e.ID,
+			DurationSeconds: e.Duration.Seconds(),
+			TracePath:       "/debug/requests/" + e.ID + "/trace",
+			Root:            e.Span.Node(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+// handleDebugTrace serves one retained request as a Chrome trace-event JSON
+// document (loadable in Perfetto, mergeable with simulation traces: server
+// spans live on their own PIDServer track).
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.flight.Get(id)
+	if !ok {
+		s.writeError(w, errf(http.StatusNotFound, "no retained trace for request id %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	e.Span.WriteTrace(w, "mesad server")
+}
