@@ -7,6 +7,8 @@
 #   make fuzz-smoke  # 10s of each Go fuzz target (differential, FP spec, ISA round-trip)
 #   make mesad-smoke # mesad end-to-end self-test: serve, load-generate, scrape /metrics
 #   make bench       # run the Go benchmarks once with -benchmem (allocation counts)
+#   make bench-batch # smoke the batched lockstep engine: BenchmarkBatchRunLoop
+#                    # into batch-bench.out, failing unless it is 0 allocs/op
 #   make bench-json  # write the current performance snapshot to BENCH.json
 #   make bench-check # regression-gate the snapshot against BENCH_baseline.json
 #   make bench-attrib# write the suite-wide bottleneck attribution to ATTRIB.json
@@ -19,7 +21,7 @@ BENCH_TOL ?= 0.02
 # Pinned so every machine lints with the same rule set; bump deliberately.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: ci build vet lint test test-race fuzz-smoke mesad-smoke bench bench-json bench-check bench-baseline bench-attrib
+.PHONY: ci build vet lint test test-race fuzz-smoke mesad-smoke bench bench-batch bench-json bench-check bench-baseline bench-attrib
 
 ci: vet lint test test-race fuzz-smoke mesad-smoke bench-check
 
@@ -70,14 +72,26 @@ mesad-smoke:
 bench:
 	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' .
 
+# Steady-state smoke of the batched data-parallel engine: enough timed steps
+# for the allocation accounting to be meaningful, gated on the 0 allocs/op
+# invariant the SoA hot path guarantees. batch-bench.out is a CI artifact.
+bench-batch:
+	$(GO) test -bench '^BenchmarkBatchRunLoop$$' -benchtime 20000x -benchmem -run '^$$' . | tee batch-bench.out
+	@grep -E '\s0 allocs/op' batch-bench.out >/dev/null || \
+		{ echo "bench-batch: BenchmarkBatchRunLoop is not allocation-free"; exit 1; }
+
 bench-json:
 	$(GO) run ./cmd/mesabench -out BENCH.json
 
+# -batch 8 warms the sweep through the batched lockstep engine and records
+# the measured batch.* wall metrics (lanes, scalar vs batched sweep seconds,
+# speedup) in the snapshot. They are host-dependent, so CompareBench excludes
+# the batch.* prefix from the regression gate in both directions.
 bench-check:
-	$(GO) run ./cmd/mesabench -check BENCH_baseline.json -tol $(BENCH_TOL) -out BENCH.json
+	$(GO) run ./cmd/mesabench -batch 8 -check BENCH_baseline.json -tol $(BENCH_TOL) -out BENCH.json
 
 bench-baseline:
-	$(GO) run ./cmd/mesabench -out BENCH_baseline.json
+	$(GO) run ./cmd/mesabench -batch 8 -out BENCH_baseline.json
 
 bench-attrib:
 	$(GO) run ./cmd/mesabench -json attrib > ATTRIB.json

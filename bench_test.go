@@ -306,6 +306,74 @@ func BenchmarkRunIteration(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchRunLoop measures the steady-state cost of stepping eight
+// independent nn-loop simulations in lockstep on one BatchEngine. With
+// -benchmem it doubles as the allocation-free evidence for the batched hot
+// path: 0 allocs/op (also pinned by TestBatchStepZeroAllocs in
+// internal/accel). Each lane gets its own LDFG, placement, and memory —
+// only the stepping loop and the SoA state blocks are shared.
+func BenchmarkBatchRunLoop(b *testing.B) {
+	k, err := kernels.ByName("nn")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nLanes = 8
+	lanes := make([]accel.BatchLane, nLanes)
+	regs := make([][isa.NumRegs]uint32, nLanes)
+	for i := range lanes {
+		body, be := nnRegion(b)
+		l, err := core.BuildLDFG(body, be.EstimateLat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, _, err := core.NewMapper(core.DefaultMapperOptions()).Map(l, be)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lanes[i] = accel.BatchLane{
+			Cfg: be, G: l.Graph, Pos: s.Pos, LoopBranch: l.LoopBranch,
+			Mem: k.NewMemory(experiments.Seed), Hier: mem.MustHierarchy(mem.DefaultHierarchy()),
+		}
+		regs[i][isa.RegA0] = kernels.ArrA
+		regs[i][isa.RegA1] = kernels.ArrB
+		regs[i][isa.RegA2] = kernels.ArrOut
+		regs[i][isa.RegT1] = 1 << 30
+	}
+	eng, err := accel.NewBatchEngine(lanes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runs := make([]accel.LaneRun, nLanes)
+	start := func() {
+		for i := range runs {
+			runs[i] = accel.LaneRun{Lane: i, Regs: &regs[i]}
+		}
+		if err := eng.StartLoops(runs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	start()
+	// Warm once so one-time growth (store-buffer backing arrays) is excluded.
+	if _, err := eng.Step(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		active, err := eng.Step()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if active == 0 {
+			// All lanes retired their loops: restart outside the timer.
+			b.StopTimer()
+			start()
+			b.StartTimer()
+		}
+	}
+	b.ReportMetric(nLanes, "lanes")
+}
+
 // BenchmarkFullSweep measures the end-to-end evaluation sweep — every figure,
 // Table 2, and the benchmark snapshot collection — from a cold
 // simulation-result cache each iteration (within one iteration the cache

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"errors"
 	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -10,6 +12,111 @@ import (
 
 	"mesa/internal/experiments"
 )
+
+// TestMain lets the exit-code tests re-exec this binary as mesabench: with
+// MESABENCH_RUN_MAIN set, the process runs main() on MESABENCH_ARGS
+// (unit-separator-delimited) instead of the test suite, so os.Exit codes and usage
+// output are observable exactly as a user would see them.
+func TestMain(m *testing.M) {
+	if os.Getenv("MESABENCH_RUN_MAIN") == "1" {
+		args := []string{"mesabench"}
+		if raw := os.Getenv("MESABENCH_ARGS"); raw != "" {
+			args = append(args, strings.Split(raw, "\x1f")...)
+		}
+		os.Args = args
+		main() // exits itself
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runMesabench re-execs the test binary as mesabench and returns its
+// combined output and exit code.
+func runMesabench(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		"MESABENCH_RUN_MAIN=1",
+		"MESABENCH_ARGS="+strings.Join(args, "\x1f"))
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("re-exec failed: %v\n%s", err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+// TestBatchFlagValidation pins the -batch contract at the command level: a
+// negative lane count is a usage error — exit 2 with the flag named and the
+// usage text printed — exactly like an invalid -parallel.
+func TestBatchFlagValidation(t *testing.T) {
+	out, code := runMesabench(t, "-batch", "-1", "table1")
+	if code != 2 {
+		t.Fatalf("mesabench -batch -1: exit %d, want 2\noutput:\n%s", code, out)
+	}
+	if !strings.Contains(out, "invalid -batch -1") {
+		t.Errorf("error does not name the flag value:\n%s", out)
+	}
+	if !strings.Contains(out, "usage: mesabench") {
+		t.Errorf("usage text missing:\n%s", out)
+	}
+
+	// Parity with -parallel, whose contract -batch mirrors.
+	out, code = runMesabench(t, "-parallel", "0", "table1")
+	if code != 2 || !strings.Contains(out, "invalid -parallel 0") {
+		t.Errorf("mesabench -parallel 0: exit %d, output:\n%s", code, out)
+	}
+}
+
+// TestBatchByteIdentity is the end-to-end determinism gate for the batched
+// path: `-parallel 8 -batch 8` must render byte-identical experiment output
+// to `-parallel 1 -batch 0` (modulo the wall-time headers), because the
+// batched engine is observationally identical and the warmed cache entries
+// are the same bytes the scalar runs would compute.
+func TestBatchByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment rendering in -short mode")
+	}
+	var chosen []experiment
+	for _, e := range all {
+		if e.name == "fig11" || e.name == "fig14" {
+			chosen = append(chosen, e)
+		}
+	}
+	if len(chosen) != 2 {
+		t.Fatalf("experiment registry missing fig11/fig14")
+	}
+
+	experiments.ResetSimMemo()
+	scalarCfg := config{parallel: 1, batch: 0, tol: 0.02, chosen: chosen}
+	var scalarCode int
+	scalar := captureStdout(t, func() { scalarCode = realMain(scalarCfg, "", "") })
+	if scalarCode != 0 {
+		t.Fatalf("-parallel 1 -batch 0 run: exit %d", scalarCode)
+	}
+
+	experiments.ResetSimMemo()
+	defer experiments.ResetSimMemo()
+	batchCfg := config{parallel: 8, batch: 8, tol: 0.02, chosen: chosen}
+	var batchCode int
+	batched := captureStdout(t, func() { batchCode = realMain(batchCfg, "", "") })
+	if batchCode != 0 {
+		t.Fatalf("-parallel 8 -batch 8 run: exit %d", batchCode)
+	}
+
+	got := wallTimes.ReplaceAllString(batched, "(T)")
+	want := wallTimes.ReplaceAllString(scalar, "(T)")
+	if got != want {
+		t.Errorf("batched output differs from scalar:\nscalar:\n%s\nbatched:\n%s", want, got)
+	}
+}
 
 // captureStdout runs f with os.Stdout redirected and returns what it printed.
 func captureStdout(t *testing.T, f func()) string {

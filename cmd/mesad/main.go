@@ -20,6 +20,10 @@
 //
 //	POST /v1/simulate   {"kernel":"nn","backend":"M-128","mapper":"greedy"}
 //	                    or {"program":{"base":4096,"words":[...]}}
+//	POST /v1/simulate/batch  {"requests":[...]} — up to 64 requests answered
+//	                    in one round trip; cold kernels run on the batched
+//	                    lockstep engine; each item body matches /v1/simulate
+
 //	GET  /v1/kernels    list the built-in kernels
 //	GET  /metrics       every counter surface (server, latency histograms,
 //	                    pool, sim cache) as JSON; Accept: text/plain selects
@@ -36,6 +40,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -253,6 +258,49 @@ func runSmoke(srv *server.Server, httpSrv *http.Server, ln net.Listener, tracePa
 		fmt.Fprintf(out, "mesad: smoke %s pass: %d requests, %d mismatches\n",
 			label, stats.Requests, stats.Mismatches)
 	}
+
+	// Batch endpoint: mixed valid/invalid items resolve individually, and
+	// every valid item body is byte-identical to the single-request body the
+	// load passes above already verified and warmed.
+	batchBody := `{"requests":[{"kernel":"nn"},{"kernel":"kmeans","mapper":"congestion"},{"kernel":"no-such-kernel"}]}`
+	bres, err := client.Post(base+"/v1/simulate/batch", "application/json", strings.NewReader(batchBody))
+	if err != nil {
+		fmt.Fprintln(errw, "mesad: smoke batch:", err)
+		return 1
+	}
+	var batch server.BatchResponse
+	berr := json.NewDecoder(bres.Body).Decode(&batch)
+	bres.Body.Close()
+	if berr != nil || bres.StatusCode != http.StatusOK || len(batch.Items) != 3 {
+		fmt.Fprintf(errw, "mesad: smoke batch: status %d err %v items %d\n",
+			bres.StatusCode, berr, len(batch.Items))
+		return 1
+	}
+	for i, want := range []int{http.StatusOK, http.StatusOK, http.StatusNotFound} {
+		if batch.Items[i].Status != want {
+			fmt.Fprintf(errw, "mesad: smoke batch item %d: status %d, want %d (body: %s)\n",
+				i, batch.Items[i].Status, want, batch.Items[i].Body)
+			return 1
+		}
+	}
+	for i, single := range []string{`{"kernel":"nn"}`, `{"kernel":"kmeans","mapper":"congestion"}`} {
+		sres, err := client.Post(base+"/v1/simulate", "application/json", strings.NewReader(single))
+		if err != nil {
+			fmt.Fprintln(errw, "mesad: smoke batch single:", err)
+			return 1
+		}
+		sbody, err := io.ReadAll(sres.Body)
+		sres.Body.Close()
+		if err != nil || sres.StatusCode != http.StatusOK {
+			fmt.Fprintf(errw, "mesad: smoke batch single %d: status %d err %v\n", i, sres.StatusCode, err)
+			return 1
+		}
+		if got := append(append([]byte(nil), batch.Items[i].Body...), '\n'); !bytes.Equal(got, sbody) {
+			fmt.Fprintf(errw, "mesad: smoke batch item %d body differs from /v1/simulate\n", i)
+			return 1
+		}
+	}
+	fmt.Fprintf(out, "mesad: smoke batch ok (%d items)\n", len(batch.Items))
 
 	metrics, err := client.Get(base + "/metrics")
 	if err != nil {

@@ -79,7 +79,7 @@ func TestRealMainSmoke(t *testing.T) {
 		t.Fatalf("smoke exit code = %d\nstdout: %s\nstderr: %s", code, out.String(), errw.String())
 	}
 	for _, want := range []string{
-		"smoke cold pass", "smoke warm pass", "0 mismatches",
+		"smoke cold pass", "smoke warm pass", "0 mismatches", "smoke batch ok",
 		"smoke prometheus ok", "smoke flight recorder ok", "pprof on", "smoke ok",
 	} {
 		if !strings.Contains(out.String(), want) {

@@ -10,11 +10,12 @@ import (
 	"mesa/internal/obs"
 )
 
-// allocLoop builds a small but feature-complete loop — strided load, ALU op,
-// store, same-line second load (forwarding/coalescing), induction update, and
-// a loop-closing branch — on an engine with prefetch and vectorization
-// enabled, plus the pre-touched memory pages its iterations walk.
-func allocLoop(t testing.TB, timeShare bool) (*Engine, [isa.NumRegs]uint32) {
+// allocLoopLane builds a small but feature-complete loop — strided load, ALU
+// op, store, same-line second load (forwarding/coalescing), induction update,
+// and a loop-closing branch — with prefetch and vectorization enabled, plus
+// the pre-touched memory pages its iterations walk. Each call constructs a
+// fresh graph and memory, so multiple lanes never share state.
+func allocLoopLane(t testing.TB, timeShare bool) (BatchLane, [isa.NumRegs]uint32) {
 	t.Helper()
 	g := dfg.NewGraph()
 	// n0: lw x5, 0(x10)
@@ -70,13 +71,20 @@ func allocLoop(t testing.TB, timeShare bool) (*Engine, [isa.NumRegs]uint32) {
 		pos[5] = noc.Coord{Row: 0, Col: 0}
 		pos[6] = noc.Coord{Row: 0, Col: 0}
 	}
-	e, err := NewEngine(cfg, g, pos, id6, memory, hier)
-	if err != nil {
-		t.Fatal(err)
-	}
 	var regs [isa.NumRegs]uint32
 	regs[isa.X10] = 0x1000
 	regs[isa.X11] = 0x3f000
+	return BatchLane{Cfg: cfg, G: g, Pos: pos, LoopBranch: id6, Mem: memory, Hier: hier}, regs
+}
+
+// allocLoop constructs a scalar engine over the allocLoopLane fixture.
+func allocLoop(t testing.TB, timeShare bool) (*Engine, [isa.NumRegs]uint32) {
+	t.Helper()
+	l, regs := allocLoopLane(t, timeShare)
+	e, err := NewEngine(l.Cfg, l.G, l.Pos, l.LoopBranch, l.Mem, l.Hier)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return e, regs
 }
 

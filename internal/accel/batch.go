@@ -1,0 +1,935 @@
+package accel
+
+import (
+	"fmt"
+	"math"
+
+	"mesa/internal/alu"
+	"mesa/internal/dfg"
+	"mesa/internal/isa"
+	"mesa/internal/mem"
+	"mesa/internal/noc"
+)
+
+// BatchLane describes one independent simulation to run in a batch: its own
+// backend config, placement, memory, and cache hierarchy over a graph that
+// is structurally identical to every other lane's graph (same instructions
+// and dependencies; node weights and placements may differ).
+type BatchLane struct {
+	Cfg        *Config
+	G          *dfg.Graph
+	Pos        []noc.Coord
+	LoopBranch dfg.NodeID
+	Mem        *mem.Memory
+	Hier       *mem.Hierarchy
+}
+
+// BatchEngine steps N independent simulations of one kernel in lockstep.
+// Per-lane node state (values, completion times, predication flags,
+// prefetch trackers, per-node and per-edge latency counters) lives in
+// contiguous structure-of-arrays blocks indexed [lane*stride + slot], so the
+// per-node inner loop iterates lanes innermost over dense memory instead of
+// pointer-chasing N separate Engines. Lane-local resources whose size
+// depends on the lane's config (memory ports, NoC lanes, the line-coalesce
+// table, time-shared unit scratch, the store buffer) stay per-lane.
+//
+// The batched step is a transcription of Engine.RunIteration over offset
+// state: every lane's results — counters, attribution, activity, registers,
+// memory — are byte-identical to running that lane alone on a scalar
+// Engine. The differential tests in batch_test.go and internal/core pin
+// this equivalence; any behavioral change to RunIteration must be mirrored
+// here.
+//
+// A BatchEngine is not safe for concurrent use; BatchRunner provides the
+// concurrency layer.
+type BatchEngine struct {
+	capacity int
+
+	// Shared graph shape, established by the first configured lane. All
+	// lanes share the node list, loop branch, and dense edge index: the
+	// edge index is a pure function of the graph's dependency structure,
+	// so structurally identical graphs produce identical indices.
+	shaped        bool
+	n             int // nodes per lane
+	nE            int // distinct (from,to) edges per lane
+	ref           *dfg.Graph
+	refLoopBranch dfg.NodeID
+	edges         []nodeEdges
+	edgePairs     []uint64
+
+	// Structure-of-arrays lane state: node blocks are [lane*n + node],
+	// edge blocks are [lane*nE + edge]. Each lane's counter slices are
+	// subslices of these blocks, so Counters aggregation writes straight
+	// into the dense arrays.
+	value      []uint32
+	completion []float64
+	enabled    []bool
+	taken      []bool
+	pfLastAddr []uint32
+	pfStride   []int64
+	pfSeen     []uint8
+	opLatSum   []float64
+	opLatN     []uint64
+	edgeLatSum []float64
+	edgeLatN   []uint64
+
+	// Shared iteration generation for every lane's stamped scratch (line
+	// grants, unit busy times). Scalar engines use per-engine generations,
+	// but all checks are equality-only and each Step advances the
+	// generation exactly once, so sharing one is behavior-identical; the
+	// wraparound clear covers every lane.
+	iterGen uint32
+
+	lanes    []batchLane
+	active   []int // lanes still running the current batch of loops
+	runOrder []int // lanes of the current batch, in StartLoops order
+}
+
+// batchLane holds one lane's config-sized resources and run state.
+type batchLane struct {
+	configured bool
+
+	cfg  *Config
+	g    *dfg.Graph
+	pos  []noc.Coord
+	mem  *mem.Memory
+	hier *mem.Hierarchy
+
+	// Per-iteration resource state (reset each step, like the scalar
+	// engine resets per iteration).
+	// Ports reset by cursor, not by clearing (see Engine.portZeroFrom):
+	// slots at or past portZeroFrom hold only dead values from earlier
+	// iterations.
+	portFree     []float64
+	portZeroFrom int
+	laneFree     [][]float64
+
+	// Line-coalesce scratch (vectorization), generation-stamped against
+	// the engine-wide iterGen.
+	lineTag  []uint32
+	lineVal  []float64
+	lineGen  []uint32
+	lineMask uint32
+
+	storeBuf []storeBufEntry
+
+	// Time-multiplexing extension state (see Engine).
+	timeShared  bool
+	unitOf      []int32
+	unitBusy    []float64
+	unitGen     []uint32
+	maxUnitWork float64
+
+	// c's per-node and per-edge slices alias the BatchEngine's SoA blocks;
+	// scalar counter fields live here directly.
+	c        Counters
+	activity Activity
+
+	// Armed-run state for the current batch of loops.
+	armed     bool
+	regs      *[isa.NumRegs]uint32
+	opts      LoopOptions
+	res       LoopResult
+	err       error
+	iterTotal float64
+}
+
+// LaneRun arms one lane for a batched loop execution.
+type LaneRun struct {
+	Lane int
+	Regs *[isa.NumRegs]uint32
+	Opts LoopOptions
+}
+
+// LaneResult is one lane's outcome from a batched loop execution: exactly
+// the (result, error) pair the scalar Engine.RunLoop would have returned.
+type LaneResult struct {
+	Res *LoopResult
+	Err error
+}
+
+// NewBatchEngine configures a batch with one slot per lane and runs them
+// with RunLoops. Lane 0 establishes the shared graph shape; every further
+// lane must be structurally identical or configuration fails.
+func NewBatchEngine(lanes []BatchLane) (*BatchEngine, error) {
+	if len(lanes) == 0 {
+		return nil, fmt.Errorf("accel: batch needs at least one lane")
+	}
+	b := newBatchEngine(len(lanes))
+	for i, l := range lanes {
+		if err := b.configureSlot(i, l); err != nil {
+			return nil, fmt.Errorf("accel: batch lane %d: %w", i, err)
+		}
+	}
+	return b, nil
+}
+
+// newBatchEngine allocates an engine with capacity lane slots. Slots are
+// configured individually (configureSlot) and may be reconfigured between
+// runs; the SoA blocks are allocated once, on the first configuration.
+func newBatchEngine(capacity int) *BatchEngine {
+	return &BatchEngine{
+		capacity: capacity,
+		lanes:    make([]batchLane, capacity),
+		active:   make([]int, 0, capacity),
+		runOrder: make([]int, 0, capacity),
+	}
+}
+
+// Capacity returns the number of lane slots.
+func (b *BatchEngine) Capacity() int { return b.capacity }
+
+// batchShapeErr explains a structural mismatch between a lane's graph and
+// the batch shape.
+func batchShapeCompatible(ref, g *dfg.Graph, refBranch, branch dfg.NodeID) error {
+	if g.Len() != ref.Len() {
+		return fmt.Errorf("graph has %d nodes, batch shape has %d", g.Len(), ref.Len())
+	}
+	if branch != refBranch {
+		return fmt.Errorf("loop branch %d differs from batch shape's %d", branch, refBranch)
+	}
+	for i := range ref.Nodes {
+		a, c := &ref.Nodes[i], &g.Nodes[i]
+		// OpLat is deliberately excluded: it is a performance-model weight
+		// (refined per lane by feedback) that execution never reads.
+		if a.Inst != c.Inst || a.Src != c.Src || a.LiveIn != c.LiveIn ||
+			a.MemDep != c.MemDep || a.PredDep != c.PredDep ||
+			a.PredLiveIn != c.PredLiveIn || a.CtrlDep != c.CtrlDep || a.Fwd != c.Fwd {
+			return fmt.Errorf("node i%d differs from batch shape", i)
+		}
+	}
+	if len(g.LiveOut) != len(ref.LiveOut) {
+		return fmt.Errorf("live-out set differs from batch shape")
+	}
+	for r, id := range ref.LiveOut {
+		if got, ok := g.LiveOut[r]; !ok || got != id {
+			return fmt.Errorf("live-out %v differs from batch shape", r)
+		}
+	}
+	return nil
+}
+
+// configureSlot (re)configures one lane slot, mirroring NewEngine's
+// validation and state construction. The slot's SoA blocks and counters are
+// zeroed; resource arrays are rebuilt for the lane's config.
+func (b *BatchEngine) configureSlot(slot int, l BatchLane) error {
+	if slot < 0 || slot >= b.capacity {
+		return fmt.Errorf("accel: batch slot %d out of range [0,%d)", slot, b.capacity)
+	}
+	if err := l.Cfg.Validate(); err != nil {
+		return err
+	}
+	if len(l.Pos) != l.G.Len() {
+		return fmt.Errorf("accel: placement has %d entries for %d nodes", len(l.Pos), l.G.Len())
+	}
+	if !b.shaped {
+		n := l.G.Len()
+		b.n = n
+		b.ref = l.G
+		b.refLoopBranch = l.LoopBranch
+		b.edges, b.edgePairs = buildEdgeIndex(l.G)
+		b.nE = len(b.edgePairs)
+		c := b.capacity
+		b.value = make([]uint32, c*n)
+		b.completion = make([]float64, c*n)
+		b.enabled = make([]bool, c*n)
+		b.taken = make([]bool, c*n)
+		b.pfLastAddr = make([]uint32, c*n)
+		b.pfStride = make([]int64, c*n)
+		b.pfSeen = make([]uint8, c*n)
+		b.opLatSum = make([]float64, c*n)
+		b.opLatN = make([]uint64, c*n)
+		b.edgeLatSum = make([]float64, c*b.nE)
+		b.edgeLatN = make([]uint64, c*b.nE)
+		b.shaped = true
+	} else if err := batchShapeCompatible(b.ref, l.G, b.refLoopBranch, l.LoopBranch); err != nil {
+		return fmt.Errorf("accel: batch lane incompatible: %w", err)
+	}
+
+	L := &b.lanes[slot]
+	if L.armed {
+		return fmt.Errorf("accel: batch slot %d reconfigured while armed", slot)
+	}
+	cfg, g, n := l.Cfg, l.G, b.n
+	base, eb := slot*n, slot*b.nE
+
+	// Fresh state for the slot, matching a newly constructed Engine.
+	clear(b.value[base : base+n])
+	clear(b.completion[base : base+n])
+	clear(b.enabled[base : base+n])
+	clear(b.taken[base : base+n])
+	clear(b.pfLastAddr[base : base+n])
+	clear(b.pfStride[base : base+n])
+	clear(b.pfSeen[base : base+n])
+	clear(b.opLatSum[base : base+n])
+	clear(b.opLatN[base : base+n])
+	clear(b.edgeLatSum[eb : eb+b.nE])
+	clear(b.edgeLatN[eb : eb+b.nE])
+
+	storeBuf := L.storeBuf[:0] // keep the grown backing array across reconfigures
+	*L = batchLane{
+		configured: true,
+		cfg:        cfg,
+		g:          g,
+		pos:        l.Pos,
+		mem:        l.Mem,
+		hier:       l.Hier,
+		portFree:   make([]float64, cfg.MemPorts),
+		storeBuf:   storeBuf,
+	}
+	L.laneFree = make([][]float64, cfg.Rows)
+	for r := range L.laneFree {
+		L.laneFree[r] = make([]float64, max(1, cfg.NoCLanesPerRow))
+	}
+	L.c = Counters{
+		OpLatSum:     b.opLatSum[base : base+n : base+n],
+		OpLatN:       b.opLatN[base : base+n : base+n],
+		EdgeLatSum:   b.edgeLatSum[eb : eb+b.nE : eb+b.nE],
+		EdgeLatN:     b.edgeLatN[eb : eb+b.nE : eb+b.nE],
+		EdgePairs:    b.edgePairs,
+		RowTransfers: make([]uint64, cfg.Rows),
+		PortGrants:   make([]uint64, cfg.MemPorts),
+		PortWait:     make([]float64, cfg.MemPorts),
+	}
+	for _, p := range l.Pos {
+		if cfg.InBounds(p) {
+			L.activity.PEsConfigured++
+		}
+	}
+	if cfg.EnableVectorization {
+		memNodes := 0
+		for i := range g.Nodes {
+			if g.Nodes[i].Inst.IsLoad() || g.Nodes[i].Inst.IsStore() {
+				memNodes++
+			}
+		}
+		capacity := nextPow2(max(16, 4*memNodes))
+		L.lineTag = make([]uint32, capacity)
+		L.lineVal = make([]float64, capacity)
+		L.lineGen = make([]uint32, capacity)
+		L.lineMask = uint32(capacity - 1)
+	}
+	// Time-shared unit detection, identical to NewEngine.
+	work := make(map[noc.Coord]float64)
+	count := make(map[noc.Coord]int)
+	for i, p := range l.Pos {
+		if !cfg.InBounds(p) && !cfg.IsEdge(p) {
+			continue
+		}
+		count[p]++
+		work[p] += cfg.EstimateLat(g.Nodes[i].Inst)
+		if count[p] > 1 {
+			L.timeShared = true
+			if work[p] > L.maxUnitWork {
+				L.maxUnitWork = work[p]
+			}
+		}
+	}
+	if L.timeShared {
+		stride := cfg.Cols + 2*cfg.EdgeDepth
+		L.unitOf = make([]int32, n)
+		for i, p := range l.Pos {
+			if cfg.InBounds(p) || cfg.IsEdge(p) {
+				L.unitOf[i] = int32(p.Row*stride + p.Col + cfg.EdgeDepth)
+			} else {
+				L.unitOf[i] = -1
+			}
+		}
+		units := cfg.Rows * stride
+		L.unitBusy = make([]float64, units)
+		L.unitGen = make([]uint32, units)
+	}
+	return nil
+}
+
+// StartLoops arms the given lanes for a lockstep loop execution. Counters
+// and activity accumulate across successive runs on the same slot (matching
+// the scalar engine across repeated RunLoop calls); only the per-run
+// LoopResult state is reset. Drive the batch with Step until it returns 0,
+// then collect per-lane outcomes with Results.
+func (b *BatchEngine) StartLoops(runs []LaneRun) error {
+	if len(b.runOrder) != 0 {
+		return fmt.Errorf("accel: batch already has an uncollected run")
+	}
+	if len(runs) == 0 {
+		return fmt.Errorf("accel: batch run needs at least one lane")
+	}
+	for _, r := range runs {
+		if r.Lane < 0 || r.Lane >= b.capacity {
+			return fmt.Errorf("accel: batch lane %d out of range [0,%d)", r.Lane, b.capacity)
+		}
+		if !b.lanes[r.Lane].configured {
+			return fmt.Errorf("accel: batch lane %d not configured", r.Lane)
+		}
+		if r.Regs == nil {
+			return fmt.Errorf("accel: batch lane %d has nil registers", r.Lane)
+		}
+	}
+	for idx, r := range runs {
+		L := &b.lanes[r.Lane]
+		if L.armed {
+			// Duplicate lane in this run list: roll back so a failed
+			// StartLoops leaves the batch unarmed.
+			for _, prev := range runs[:idx] {
+				b.lanes[prev.Lane].armed = false
+				b.lanes[prev.Lane].regs = nil
+			}
+			return fmt.Errorf("accel: batch lane %d armed twice", r.Lane)
+		}
+		opts := r.Opts
+		if opts.Tiles <= 0 {
+			opts.Tiles = 1
+		}
+		L.armed = true
+		L.regs = r.Regs
+		L.opts = opts
+		L.res = LoopResult{}
+		L.err = nil
+	}
+	for _, r := range runs {
+		b.runOrder = append(b.runOrder, r.Lane)
+		b.active = append(b.active, r.Lane)
+	}
+	return nil
+}
+
+// Step executes one loop iteration on every still-active lane in lockstep
+// and returns the number of lanes still running. The per-node loop iterates
+// lanes innermost over the SoA blocks; per-lane pre- and post-iteration
+// work (resource resets, store commit, live-outs, loop control) brackets
+// it. A lane that errors is recorded and dropped; the remaining lanes are
+// unaffected. The steady-state path performs no heap allocations.
+func (b *BatchEngine) Step() (int, error) {
+	if len(b.runOrder) == 0 {
+		return 0, fmt.Errorf("accel: batch Step without StartLoops")
+	}
+	if len(b.active) == 0 {
+		return 0, nil
+	}
+
+	// Pre-iteration resets, per lane (scalar: top of RunIteration).
+	for _, ln := range b.active {
+		L := &b.lanes[ln]
+		L.portZeroFrom = 0 // all ports free; stale slots die on first grant
+		for r := range L.laneFree {
+			lf := L.laneFree[r]
+			for l := range lf {
+				lf[l] = 0
+			}
+		}
+		L.storeBuf = L.storeBuf[:0]
+		L.iterTotal = 0
+	}
+
+	// Advance the shared scratch generation; on wraparound clear every
+	// lane's stamps so stale entries cannot alias the new generation.
+	b.iterGen++
+	if b.iterGen == 0 {
+		for s := range b.lanes {
+			clear(b.lanes[s].lineGen)
+			clear(b.lanes[s].unitGen)
+		}
+		b.iterGen = 1
+	}
+
+	g := b.ref
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		id := dfg.NodeID(i)
+		ne := &b.edges[i]
+
+		for _, ln := range b.active {
+			L := &b.lanes[ln]
+			if L.err != nil {
+				continue
+			}
+			base := ln * b.n
+
+			// Predication: enabled iff every controlling branch is enabled
+			// and not taken.
+			en := true
+			ctrlArrival := 0.0
+			if n.CtrlDep != dfg.None {
+				br := int(n.CtrlDep)
+				en = b.enabled[base+br] && !b.taken[base+br]
+				if a := b.completion[base+br] + ctrlLat; a > ctrlArrival {
+					ctrlArrival = a
+				}
+				L.activity.CtrlEvents++
+			}
+			b.enabled[base+i] = en
+
+			// Operand gathering.
+			var opVal [3]uint32
+			arrival := ctrlArrival
+			for k := 0; k < 3; k++ {
+				switch {
+				case n.Src[k] != dfg.None:
+					src := int(n.Src[k])
+					opVal[k] = b.value[base+src]
+					if a := b.laneTransfer(L, n.Src[k], id, ne.src[k], b.completion[base+src]); a > arrival {
+						arrival = a
+					}
+				case n.LiveIn[k] != isa.RegNone:
+					opVal[k] = readReg(L.regs, n.LiveIn[k])
+					if liveInLat > arrival {
+						arrival = liveInLat
+					}
+				}
+			}
+			if n.MemDep != dfg.None {
+				if a := b.laneTransfer(L, n.MemDep, id, ne.mem, b.completion[base+int(n.MemDep)]); a > arrival {
+					arrival = a
+				}
+			}
+
+			if !en {
+				// Disabled PE: forward the old destination value after one
+				// forwarding cycle.
+				var old uint32
+				pa := ctrlArrival
+				if n.PredDep != dfg.None {
+					old = b.value[base+int(n.PredDep)]
+					if a := b.laneTransfer(L, n.PredDep, id, ne.pred, b.completion[base+int(n.PredDep)]); a > pa {
+						pa = a
+					}
+				} else if n.PredLiveIn != isa.RegNone {
+					old = readReg(L.regs, n.PredLiveIn)
+					if liveInLat > pa {
+						pa = liveInLat
+					}
+				}
+				b.value[base+i] = old
+				b.completion[base+i] = pa + 1
+				b.taken[base+i] = false
+				if b.completion[base+i] > L.iterTotal {
+					L.iterTotal = b.completion[base+i]
+				}
+				continue
+			}
+
+			start := arrival
+			// Time-shared units serialize their occupants.
+			if L.timeShared {
+				if u := L.unitOf[i]; u >= 0 && L.unitGen[u] == b.iterGen && L.unitBusy[u] > start {
+					start = L.unitBusy[u]
+				}
+			}
+			var val uint32
+			var done float64
+
+			switch {
+			case n.Fwd:
+				// Statically forwarded load: a pass-through move PE.
+				val = opVal[1]
+				done = start + 1
+				L.activity.IntALU++
+
+			case n.Inst.IsLoad():
+				addr := alu.EffAddr(opVal[0], n.Inst.Imm)
+				width := mem.AccessBytes(n.Inst.Op)
+				L.c.Loads++
+				L.activity.LSU++
+				L.activity.MemAccesses++
+				// Dynamic store-to-load forwarding and disambiguation
+				// against this lane's in-flight stores of this iteration.
+				fwdDone := math.Inf(-1)
+				fwd := false
+				conflict := false
+				var conflictDone float64
+				storeBuf := L.storeBuf
+				for s := len(storeBuf) - 1; s >= 0; s-- {
+					st := &storeBuf[s]
+					if !st.enabled {
+						continue
+					}
+					if !overlap(st.addr, st.width, addr, width) {
+						continue
+					}
+					if st.addr == addr && st.width == width && width == 4 {
+						// Exact match: broadcast forwarding path.
+						val = st.value
+						fwdDone = math.Max(start, st.dataReady) + 1
+						fwd = true
+						if st.addrReady > start {
+							L.c.Invalidations++
+							fwdDone = math.Max(fwdDone, st.addrReady+invalidateLat)
+						}
+					} else {
+						// Partial overlap: the load must replay from memory
+						// after the store commits.
+						conflict = true
+						conflictDone = math.Max(st.dataReady, st.addrReady)
+					}
+					break
+				}
+				if fwd {
+					L.c.Forwarded++
+					done = fwdDone
+				} else {
+					issue := start
+					if conflict {
+						L.c.Invalidations++
+						issue = math.Max(issue, conflictDone+invalidateLat)
+					}
+					at := b.lanePort(L, issue, addr)
+					lat := float64(L.hier.AccessLatency(addr))
+					b.lanePrefetch(L, base+i, addr)
+					v, err := loadThroughBuffer(L.mem, n.Inst.Op, addr, storeBuf)
+					if err != nil {
+						L.err = err
+						continue
+					}
+					val = v
+					done = at + lat
+				}
+
+			case n.Inst.IsStore():
+				addr := alu.EffAddr(opVal[0], n.Inst.Imm)
+				width := mem.AccessBytes(n.Inst.Op)
+				L.c.Stores++
+				L.activity.LSU++
+				L.activity.MemAccesses++
+				at := b.lanePort(L, start, addr)
+				done = at + 1
+				L.storeBuf = append(L.storeBuf, storeBufEntry{
+					node: id, addr: addr, width: width, value: opVal[1],
+					dataReady: done, addrReady: start, op: n.Inst.Op, enabled: true,
+				})
+				val = opVal[1]
+
+			case n.Inst.IsBranch():
+				tk, err := alu.EvalBranch(n.Inst.Op, opVal[0], opVal[1])
+				if err != nil {
+					L.err = err
+					continue
+				}
+				b.taken[base+i] = tk
+				if tk {
+					val = 1
+				}
+				done = start + L.cfg.OpLat[isa.ClassBranch]
+				L.activity.IntALU += L.cfg.OpLat[isa.ClassBranch]
+
+			case n.Inst.Op == isa.OpJAL && n.Inst.Imm < 0:
+				// Loop-closing jump: unconditionally continue.
+				b.taken[base+i] = true
+				done = start + 1
+
+			default:
+				a, c2 := opVal[0], opVal[1]
+				if n.Inst.Op.HasImm() || n.Inst.Op == isa.OpLUI {
+					c2 = uint32(n.Inst.Imm)
+				}
+				v, err := alu.Eval(n.Inst.Op, a, c2, opVal[2])
+				if err != nil {
+					L.err = fmt.Errorf("accel: node i%d: %w", i, err)
+					continue
+				}
+				val = v
+				lat := L.cfg.OpLat[n.Inst.Class()]
+				done = start + lat
+				if n.Inst.Op.IsFP() {
+					L.activity.FPU += lat
+				} else {
+					L.activity.IntALU += lat
+				}
+			}
+
+			b.value[base+i] = val
+			b.completion[base+i] = done
+			if L.timeShared {
+				if u := L.unitOf[i]; u >= 0 {
+					if L.unitGen[u] != b.iterGen {
+						L.unitGen[u] = b.iterGen
+						L.unitBusy[u] = done
+					} else if done > L.unitBusy[u] {
+						L.unitBusy[u] = done
+					}
+				}
+			}
+			L.c.OpLatSum[i] += done - start
+			L.c.OpLatN[i]++
+			if done > L.iterTotal {
+				L.iterTotal = done
+			}
+		}
+	}
+
+	// Post-iteration, per lane: commit stores in program order, update
+	// live-outs, evaluate loop control, and retire finished lanes.
+	nextActive := b.active[:0]
+	for _, ln := range b.active {
+		L := &b.lanes[ln]
+		base := ln * b.n
+		if L.err == nil {
+			for s := range L.storeBuf {
+				st := &L.storeBuf[s]
+				if !st.enabled || !b.enabled[base+int(st.node)] {
+					continue
+				}
+				if err := L.mem.Store(st.op, st.addr, st.value); err != nil {
+					L.err = err
+					break
+				}
+			}
+		}
+		if L.err != nil {
+			continue // retired with error; Results reports it
+		}
+
+		for r, id := range g.LiveOut {
+			if r != isa.X0 {
+				L.regs[r] = b.value[base+int(id)]
+			}
+		}
+
+		cont := false
+		if b.refLoopBranch != dfg.None && b.enabled[base+int(b.refLoopBranch)] {
+			cont = b.taken[base+int(b.refLoopBranch)]
+		}
+
+		L.c.Iterations++
+		L.c.ActiveCycles += L.iterTotal
+		L.res.Iterations++
+		L.res.SerialCycles += L.iterTotal
+		if !cont {
+			L.res.Done = true
+			continue
+		}
+		if L.opts.MaxIterations > 0 && L.res.Iterations >= L.opts.MaxIterations {
+			continue
+		}
+		nextActive = append(nextActive, ln)
+	}
+	b.active = nextActive
+	return len(b.active), nil
+}
+
+// Results collects each armed lane's outcome, in StartLoops order, and
+// disarms the batch. A lane that errored carries the error the scalar
+// RunLoop would have returned; successful lanes get the finalized
+// LoopResult (mode-adjusted totals plus the attribution report), produced
+// by the same finishLoop the scalar path uses.
+func (b *BatchEngine) Results() []LaneResult {
+	out := make([]LaneResult, 0, len(b.runOrder))
+	for _, ln := range b.runOrder {
+		L := &b.lanes[ln]
+		if L.err != nil {
+			out = append(out, LaneResult{Err: L.err})
+		} else {
+			r := new(LoopResult)
+			*r = L.res
+			finishLoop(r, b.laneAttribSource(ln), L.opts)
+			L.activity.Cycles += r.TotalCycles
+			out = append(out, LaneResult{Res: r})
+		}
+		L.armed = false
+		L.regs = nil
+	}
+	b.runOrder = b.runOrder[:0]
+	b.active = b.active[:0]
+	return out
+}
+
+// RunLoops arms the given lanes, steps them in lockstep to completion, and
+// returns the per-lane outcomes in input order.
+func (b *BatchEngine) RunLoops(runs []LaneRun) ([]LaneResult, error) {
+	if err := b.StartLoops(runs); err != nil {
+		return nil, err
+	}
+	for {
+		left, err := b.Step()
+		if err != nil {
+			return nil, err
+		}
+		if left == 0 {
+			break
+		}
+	}
+	return b.Results(), nil
+}
+
+// laneTransfer is Engine.transfer over one lane's state (untraced path).
+func (b *BatchEngine) laneTransfer(L *batchLane, from, to dfg.NodeID, edge int32, ready float64) float64 {
+	var lat float64
+	switch {
+	case laneOnBus(L, from) || laneOnBus(L, to):
+		lat = float64(L.cfg.BusLat)
+		L.c.BusTransfers++
+	default:
+		a, c := L.pos[from], L.pos[to]
+		base := float64(L.cfg.Interconnect.Latency(a, c))
+		hr, isHalfRing := L.cfg.Interconnect.(noc.HalfRing)
+		if isHalfRing && hr.UsesNoC(a, c) {
+			row := a.Row
+			if row < 0 || row >= len(L.laneFree) {
+				row = 0
+			}
+			lanes := L.laneFree[row]
+			lane := 0
+			for l := 1; l < len(lanes); l++ {
+				if lanes[l] < lanes[lane] {
+					lane = l
+				}
+			}
+			start := math.Max(ready, lanes[lane])
+			L.c.NoCWaitCycles += start - ready
+			lanes[lane] = start + 1
+			lat = (start - ready) + base
+			L.c.NoCTransfers++
+			L.c.RowTransfers[row]++
+			L.activity.NoC += base
+		} else {
+			lat = base
+			L.c.LocalTransfers++
+		}
+	}
+	L.c.EdgeLatSum[edge] += lat
+	L.c.EdgeLatN[edge]++
+	return ready + lat
+}
+
+func laneOnBus(L *batchLane, id dfg.NodeID) bool {
+	p := L.pos[id]
+	return !L.cfg.InBounds(p) && !L.cfg.IsEdge(p)
+}
+
+// lanePort is Engine.port over one lane's state (untraced path).
+func (b *BatchEngine) lanePort(L *batchLane, ready float64, addr uint32) float64 {
+	const lineShift = 6 // 64-byte lines
+	var lineSlot uint32
+	vectorized := L.cfg.EnableVectorization
+	if vectorized {
+		tag := addr >> lineShift
+		slot := (tag * 2654435761) & L.lineMask
+		for L.lineGen[slot] == b.iterGen && L.lineTag[slot] != tag {
+			slot = (slot + 1) & L.lineMask
+		}
+		if L.lineGen[slot] == b.iterGen {
+			if grant := L.lineVal[slot]; grant >= ready-1 {
+				L.c.Coalesced++
+				return math.Max(ready, grant)
+			}
+		}
+		lineSlot = slot
+	}
+	var best int
+	if z := L.portZeroFrom; z < len(L.portFree) {
+		// Exactly the scalar engine's cursor grant: untouched ports are the
+		// lowest-index minimum, so this is the port the scan would pick.
+		best = z
+		L.portZeroFrom = z + 1
+		L.portFree[best] = 0
+	} else {
+		best = 0
+		for p := 1; p < len(L.portFree); p++ {
+			if L.portFree[p] < L.portFree[best] {
+				best = p
+			}
+		}
+	}
+	start := math.Max(ready, L.portFree[best])
+	L.c.PortWaitCycles += start - ready
+	L.c.PortGrants[best]++
+	L.c.PortWait[best] += start - ready
+	L.portFree[best] = start + 1 // ports accept one access per cycle
+	if vectorized {
+		L.lineTag[lineSlot] = addr >> lineShift
+		L.lineVal[lineSlot] = start
+		L.lineGen[lineSlot] = b.iterGen
+	}
+	return start
+}
+
+// lanePrefetch is Engine.prefetchNext over one lane's SoA prefetch state;
+// idx is the node's absolute SoA index (base+node).
+func (b *BatchEngine) lanePrefetch(L *batchLane, idx int, addr uint32) {
+	if !L.cfg.EnablePrefetch {
+		return
+	}
+	if b.pfSeen[idx] > 0 {
+		stride := int64(addr) - int64(b.pfLastAddr[idx])
+		if b.pfSeen[idx] > 1 && stride == b.pfStride[idx] && stride != 0 {
+			L.hier.Prefetch(uint32(int64(addr) + stride))
+			L.c.Prefetches++
+		}
+		b.pfStride[idx] = stride
+	}
+	b.pfLastAddr[idx] = addr
+	if b.pfSeen[idx] < 2 {
+		b.pfSeen[idx]++
+	}
+}
+
+// laneAttribSource projects one lane onto the shared attribution view, so
+// batched attribution reports are produced by the exact code the scalar
+// Engine.Explain uses.
+func (b *BatchEngine) laneAttribSource(lane int) *attribSource {
+	L := &b.lanes[lane]
+	return &attribSource{
+		cfg: L.cfg, g: L.g, pos: L.pos, counters: &L.c,
+		timeShared: L.timeShared, maxUnitWork: L.maxUnitWork,
+	}
+}
+
+// LaneCounters returns a deep copy of one lane's accumulated counters. The
+// copy detaches the caller from the SoA blocks, so it stays valid after the
+// slot is reconfigured for another simulation.
+func (b *BatchEngine) LaneCounters(lane int) *Counters {
+	return copyCounters(&b.lanes[lane].c)
+}
+
+// LaneActivity returns one lane's accumulated component activity.
+func (b *BatchEngine) LaneActivity(lane int) Activity {
+	return b.lanes[lane].activity
+}
+
+// LaneExplain computes the bottleneck attribution for one lane.
+func (b *BatchEngine) LaneExplain(lane int, opts LoopOptions) *Attribution {
+	return b.laneAttribSource(lane).explain(opts)
+}
+
+// LaneFeedback applies one lane's measured latencies to g, mirroring
+// Engine.Feedback.
+func (b *BatchEngine) LaneFeedback(lane int, g *dfg.Graph) (nodes, edges int, err error) {
+	L := &b.lanes[lane]
+	if g.Len() != L.g.Len() {
+		return 0, 0, fmt.Errorf("accel: feedback graph has %d nodes, engine has %d", g.Len(), L.g.Len())
+	}
+	nodes, edges = applyFeedback(g, &L.c)
+	return nodes, edges, nil
+}
+
+// LaneMeasuredAMAT returns one lane's average measured load latency,
+// mirroring Engine.MeasuredAMAT.
+func (b *BatchEngine) LaneMeasuredAMAT(lane int) float64 {
+	L := &b.lanes[lane]
+	var sum float64
+	var n uint64
+	for i := range L.g.Nodes {
+		node := &L.g.Nodes[i]
+		if node.Inst.IsLoad() && !node.Fwd && L.c.OpLatN[i] > 0 {
+			sum += L.c.OpLatSum[i] / float64(L.c.OpLatN[i])
+			n++
+		}
+	}
+	if n == 0 {
+		return L.cfg.LoadLatEstimate
+	}
+	return sum / float64(n)
+}
+
+// copyCounters deep-copies a counter set, detaching every slice.
+func copyCounters(c *Counters) *Counters {
+	out := *c
+	out.OpLatSum = append([]float64(nil), c.OpLatSum...)
+	out.OpLatN = append([]uint64(nil), c.OpLatN...)
+	out.EdgeLatSum = append([]float64(nil), c.EdgeLatSum...)
+	out.EdgeLatN = append([]uint64(nil), c.EdgeLatN...)
+	out.EdgePairs = append([]uint64(nil), c.EdgePairs...)
+	out.RowTransfers = append([]uint64(nil), c.RowTransfers...)
+	out.PortGrants = append([]uint64(nil), c.PortGrants...)
+	out.PortWait = append([]float64(nil), c.PortWait...)
+	return &out
+}

@@ -1,0 +1,574 @@
+package accel
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"mesa/internal/dfg"
+	"mesa/internal/isa"
+)
+
+// runScalarWindows runs the scalar engine through the given windows of
+// MaxIterations (the controller's offload pattern) and returns the per-window
+// results.
+func runScalarWindows(t *testing.T, e *Engine, regs *[isa.NumRegs]uint32, opts LoopOptions, windows []uint64) []*LoopResult {
+	t.Helper()
+	out := make([]*LoopResult, 0, len(windows))
+	for _, w := range windows {
+		o := opts
+		o.MaxIterations = w
+		res, err := e.RunLoop(regs, o)
+		if err != nil {
+			t.Fatalf("scalar RunLoop: %v", err)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// assertLoopResultsEqual asserts deep and byte (JSON) equality of two loop
+// results, including the attribution report.
+func assertLoopResultsEqual(t *testing.T, label string, scalar, batch *LoopResult) {
+	t.Helper()
+	if !reflect.DeepEqual(scalar, batch) {
+		t.Errorf("%s: LoopResult differs\nscalar: %+v\nbatch:  %+v", label, scalar, batch)
+	}
+	sj, err := json.Marshal(scalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sj) != string(bj) {
+		t.Errorf("%s: LoopResult JSON differs\nscalar: %s\nbatch:  %s", label, sj, bj)
+	}
+}
+
+// TestBatchMatchesScalarLockstep pins the tentpole invariant at the engine
+// level: every lane of a BatchEngine produces byte-identical results —
+// LoopResult (with attribution), counters, activity, registers, and memory —
+// to a scalar Engine running the same lane alone. Lanes are heterogeneous
+// (spatial, time-shared, vectorization off, fewer ports) and execution runs
+// in two windows so counter accumulation across RunLoop calls is covered too.
+func TestBatchMatchesScalarLockstep(t *testing.T) {
+	type variant struct {
+		name   string
+		mut    func(l *BatchLane)
+		shared bool // time-shared placement
+		opts   LoopOptions
+	}
+	variants := []variant{
+		{name: "spatial", opts: LoopOptions{}},
+		{name: "timeshared", shared: true, opts: LoopOptions{}},
+		{name: "novec", mut: func(l *BatchLane) {
+			cfg := *l.Cfg
+			cfg.EnableVectorization = false
+			cfg.EnablePrefetch = false
+			l.Cfg = &cfg
+		}, opts: LoopOptions{Pipelined: true}},
+		{name: "fewports", mut: func(l *BatchLane) {
+			cfg := *l.Cfg
+			cfg.MemPorts = 2
+			l.Cfg = &cfg
+		}, opts: LoopOptions{Pipelined: true, Tiles: 2}},
+	}
+	windows := []uint64{100, 150}
+
+	// Scalar reference: one fresh engine per variant.
+	scalarRes := make([][]*LoopResult, len(variants))
+	scalarRegs := make([][isa.NumRegs]uint32, len(variants))
+	scalarEng := make([]*Engine, len(variants))
+	for i, v := range variants {
+		l, regs := allocLoopLane(t, v.shared)
+		if v.mut != nil {
+			v.mut(&l)
+		}
+		e, err := NewEngine(l.Cfg, l.G, l.Pos, l.LoopBranch, l.Mem, l.Hier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalarRes[i] = runScalarWindows(t, e, &regs, v.opts, windows)
+		scalarRegs[i] = regs
+		scalarEng[i] = e
+	}
+
+	// Batched: the same variants as lanes of one engine.
+	lanes := make([]BatchLane, len(variants))
+	batchRegs := make([][isa.NumRegs]uint32, len(variants))
+	for i, v := range variants {
+		l, regs := allocLoopLane(t, v.shared)
+		if v.mut != nil {
+			v.mut(&l)
+		}
+		lanes[i] = l
+		batchRegs[i] = regs
+	}
+	b, err := NewBatchEngine(lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, win := range windows {
+		runs := make([]LaneRun, len(variants))
+		for i, v := range variants {
+			o := v.opts
+			o.MaxIterations = win
+			runs[i] = LaneRun{Lane: i, Regs: &batchRegs[i], Opts: o}
+		}
+		results, err := b.RunLoops(runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range variants {
+			if results[i].Err != nil {
+				t.Fatalf("%s window %d: batch lane error: %v", v.name, w, results[i].Err)
+			}
+			assertLoopResultsEqual(t, v.name, scalarRes[i][w], results[i].Res)
+		}
+	}
+	for i, v := range variants {
+		if got, want := batchRegs[i], scalarRegs[i]; got != want {
+			t.Errorf("%s: registers differ\nscalar: %v\nbatch:  %v", v.name, want, got)
+		}
+		sc := copyCounters(scalarEng[i].Counters())
+		bc := b.LaneCounters(i)
+		if !reflect.DeepEqual(sc, bc) {
+			t.Errorf("%s: counters differ\nscalar: %+v\nbatch:  %+v", v.name, sc, bc)
+		}
+		if sa, ba := scalarEng[i].Activity(), b.LaneActivity(i); sa != ba {
+			t.Errorf("%s: activity differs\nscalar: %+v\nbatch:  %+v", v.name, sa, ba)
+		}
+		if !scalarEng[i].mem.Equal(b.lanes[i].mem) {
+			t.Errorf("%s: memory differs at %v", v.name, scalarEng[i].mem.Diff(b.lanes[i].mem, 4))
+		}
+		sf, bf := scalarEng[i].MeasuredAMAT(), b.LaneMeasuredAMAT(i)
+		if sf != bf {
+			t.Errorf("%s: MeasuredAMAT differs: scalar %v batch %v", v.name, sf, bf)
+		}
+		se := scalarEng[i].Explain(LoopOptions{Pipelined: true, Tiles: 1})
+		be := b.LaneExplain(i, LoopOptions{Pipelined: true, Tiles: 1})
+		if !reflect.DeepEqual(se, be) {
+			t.Errorf("%s: Explain differs", v.name)
+		}
+	}
+}
+
+// TestBatchFeedbackMatchesScalar pins the feedback path: applying a lane's
+// measured latencies to a graph matches the scalar engine's Feedback.
+func TestBatchFeedbackMatchesScalar(t *testing.T) {
+	ls, regsS := allocLoopLane(t, false)
+	eng, err := NewEngine(ls.Cfg, ls.G, ls.Pos, ls.LoopBranch, ls.Mem, ls.Hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunLoop(&regsS, LoopOptions{MaxIterations: 50}); err != nil {
+		t.Fatal(err)
+	}
+
+	lb, regsB := allocLoopLane(t, false)
+	b, err := NewBatchEngine([]BatchLane{lb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.RunLoops([]LaneRun{{Lane: 0, Regs: &regsB, Opts: LoopOptions{MaxIterations: 50}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+
+	ns, es, err := eng.Feedback(ls.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, eb, err := b.LaneFeedback(0, lb.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns != nb || es != eb {
+		t.Fatalf("feedback counts differ: scalar (%d,%d), batch (%d,%d)", ns, es, nb, eb)
+	}
+	for i := range ls.G.Nodes {
+		if ls.G.Nodes[i].OpLat != lb.G.Nodes[i].OpLat {
+			t.Errorf("node i%d OpLat differs after feedback: scalar %v batch %v",
+				i, ls.G.Nodes[i].OpLat, lb.G.Nodes[i].OpLat)
+		}
+	}
+	if _, _, err := b.LaneFeedback(0, newGraphOfLen(t)); err == nil {
+		t.Error("LaneFeedback accepted a graph of the wrong size")
+	}
+}
+
+// newGraphOfLen returns a trivially wrong-sized graph for error-path tests.
+func newGraphOfLen(t *testing.T) *dfg.Graph {
+	t.Helper()
+	l, _ := allocLoopLane(t, false)
+	g := l.G
+	g.Nodes = g.Nodes[:1]
+	return g
+}
+
+// TestBatchSlotReconfigure pins slot-reuse semantics: after a run completes,
+// a slot can be reconfigured with a fresh lane and produce results identical
+// to a fresh scalar engine (counters, activity, and prefetch state all reset).
+func TestBatchSlotReconfigure(t *testing.T) {
+	l0, regs0 := allocLoopLane(t, false)
+	b, err := NewBatchEngine([]BatchLane{l0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RunLoops([]LaneRun{{Lane: 0, Regs: &regs0, Opts: LoopOptions{MaxIterations: 120}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconfigure the same slot with a fresh time-shared lane.
+	l1, regs1 := allocLoopLane(t, true)
+	if err := b.configureSlot(0, l1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.RunLoops([]LaneRun{{Lane: 0, Regs: &regs1, Opts: LoopOptions{MaxIterations: 80}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+
+	ls, regsS := allocLoopLane(t, true)
+	e, err := NewEngine(ls.Cfg, ls.G, ls.Pos, ls.LoopBranch, ls.Mem, ls.Hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.RunLoop(&regsS, LoopOptions{MaxIterations: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertLoopResultsEqual(t, "reconfigured", want, res[0].Res)
+	if regs1 != regsS {
+		t.Errorf("registers differ after reconfigured run")
+	}
+	if !reflect.DeepEqual(copyCounters(e.Counters()), b.LaneCounters(0)) {
+		t.Errorf("counters differ after reconfigured run")
+	}
+	if e.Activity() != b.LaneActivity(0) {
+		t.Errorf("activity differs after reconfigured run")
+	}
+}
+
+// TestBatchShapeMismatch asserts that a lane whose graph differs structurally
+// from the batch shape is rejected at configuration time.
+func TestBatchShapeMismatch(t *testing.T) {
+	l0, _ := allocLoopLane(t, false)
+	l1, _ := allocLoopLane(t, false)
+	l1.G.Nodes[1].Inst.Imm = 2 // different immediate: not the same kernel
+	if _, err := NewBatchEngine([]BatchLane{l0, l1}); err == nil {
+		t.Fatal("structurally different lane accepted")
+	}
+
+	l2, _ := allocLoopLane(t, false)
+	l3, _ := allocLoopLane(t, false)
+	l3.G.Nodes = l3.G.Nodes[:len(l3.G.Nodes)-1]
+	l3.Pos = l3.Pos[:len(l3.Pos)-1]
+	if _, err := NewBatchEngine([]BatchLane{l2, l3}); err == nil {
+		t.Fatal("shorter lane graph accepted")
+	}
+
+	// OpLat differences are explicitly allowed (perf-model weights).
+	l4, _ := allocLoopLane(t, false)
+	l5, _ := allocLoopLane(t, false)
+	l5.G.Nodes[0].OpLat = 99
+	if _, err := NewBatchEngine([]BatchLane{l4, l5}); err != nil {
+		t.Fatalf("OpLat-only difference rejected: %v", err)
+	}
+}
+
+// TestBatchStartLoopsValidation covers the API misuse errors.
+func TestBatchStartLoopsValidation(t *testing.T) {
+	l, regs := allocLoopLane(t, false)
+	b, err := NewBatchEngine([]BatchLane{l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.StartLoops(nil); err == nil {
+		t.Error("empty run list accepted")
+	}
+	if err := b.StartLoops([]LaneRun{{Lane: 5, Regs: &regs}}); err == nil {
+		t.Error("out-of-range lane accepted")
+	}
+	if err := b.StartLoops([]LaneRun{{Lane: 0, Regs: nil}}); err == nil {
+		t.Error("nil regs accepted")
+	}
+	if err := b.StartLoops([]LaneRun{{Lane: 0, Regs: &regs}, {Lane: 0, Regs: &regs}}); err == nil {
+		t.Error("duplicate lane accepted")
+	}
+	if _, err := b.Step(); err == nil {
+		t.Error("Step without StartLoops accepted")
+	}
+	if err := b.StartLoops([]LaneRun{{Lane: 0, Regs: &regs, Opts: LoopOptions{MaxIterations: 5}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.StartLoops([]LaneRun{{Lane: 0, Regs: &regs}}); err == nil {
+		t.Error("second StartLoops before Results accepted")
+	}
+	for {
+		left, err := b.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if left == 0 {
+			break
+		}
+	}
+	if got := b.Results(); len(got) != 1 || got[0].Err != nil {
+		t.Fatalf("unexpected results: %+v", got)
+	}
+}
+
+// TestBatchStepZeroAllocs pins the steady-state batched step at zero heap
+// allocations, like the scalar TestRunIterationZeroAllocs: all per-lane
+// scratch lives in the engine's SoA blocks or lane-owned arrays.
+func TestBatchStepZeroAllocs(t *testing.T) {
+	const lanes = 4
+	ls := make([]BatchLane, lanes)
+	regs := make([][isa.NumRegs]uint32, lanes)
+	for i := range ls {
+		ls[i], regs[i] = allocLoopLane(t, i%2 == 1)
+	}
+	b, err := NewBatchEngine(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := make([]LaneRun, lanes)
+	for i := range runs {
+		runs[i] = LaneRun{Lane: i, Regs: &regs[i]}
+	}
+	if err := b.StartLoops(runs); err != nil {
+		t.Fatal(err)
+	}
+	// Warm once so one-time growth (store-buffer backing arrays) is excluded.
+	if _, err := b.Step(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := b.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("batched Step allocates %.2f objects/step, want 0", avg)
+	}
+}
+
+// TestBatchLaneM64 exercises lanes with a structurally identical graph but a
+// different backend grid (placements recomputed for the smaller array).
+func TestBatchLaneM64(t *testing.T) {
+	mk := func() (BatchLane, [isa.NumRegs]uint32) {
+		l, regs := allocLoopLane(t, false)
+		cfg := M64()
+		cfg.EnablePrefetch = true
+		cfg.EnableVectorization = true
+		l.Cfg = cfg
+		l.Pos = rowPlacement(cfg, l.G)
+		return l, regs
+	}
+	ls, regsS := mk()
+	e, err := NewEngine(ls.Cfg, ls.G, ls.Pos, ls.LoopBranch, ls.Mem, ls.Hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.RunLoop(&regsS, LoopOptions{Pipelined: true, MaxIterations: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l0, regs0 := allocLoopLane(t, false) // M128 lane establishes the shape
+	lb, regsB := mk()
+	b, err := NewBatchEngine([]BatchLane{l0, lb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.RunLoops([]LaneRun{
+		{Lane: 0, Regs: &regs0, Opts: LoopOptions{MaxIterations: 200}},
+		{Lane: 1, Regs: &regsB, Opts: LoopOptions{Pipelined: true, MaxIterations: 200}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].Err != nil {
+		t.Fatal(res[1].Err)
+	}
+	assertLoopResultsEqual(t, "m64-lane", want, res[1].Res)
+	if regsB != regsS {
+		t.Errorf("registers differ on the M64 lane")
+	}
+}
+
+// TestBatchRunnerConcurrentLanes drives a BatchRunner from one goroutine per
+// lane — the controller usage pattern: build an engine, run windows, rebuild
+// (reconfiguration), run more windows, read counters, finish — and asserts
+// every lane matches a scalar engine run bit for bit. One lane's graph is
+// structurally different, forcing the sticky scalar fallback mid-flight, and
+// lanes run different window counts so the quorum shrinks while others wait.
+func TestBatchRunnerConcurrentLanes(t *testing.T) {
+	const lanes = 5
+	type laneSpec struct {
+		shared   bool
+		mismatch bool     // structurally different graph → scalar fallback
+		windows  []uint64 // MaxIterations per window, split by a reconfigure
+	}
+	specs := []laneSpec{
+		{windows: []uint64{100, 50, 150}},
+		{shared: true, windows: []uint64{200}},
+		{windows: []uint64{25, 25}},
+		{mismatch: true, windows: []uint64{100, 100}},
+		{shared: true, windows: []uint64{60, 40, 60, 40}},
+	}
+
+	mkLane := func(s laneSpec) (BatchLane, [isa.NumRegs]uint32) {
+		l, regs := allocLoopLane(t, s.shared)
+		if s.mismatch {
+			l.G.Nodes[1].Inst.Imm = 3
+		}
+		return l, regs
+	}
+
+	// Scalar reference, sequential.
+	wantRes := make([][]*LoopResult, lanes)
+	wantRegs := make([][isa.NumRegs]uint32, lanes)
+	wantCounters := make([]*Counters, lanes)
+	wantActivity := make([]Activity, lanes)
+	for i, s := range specs {
+		l, regs := mkLane(s)
+		var res []*LoopResult
+		var e *Engine
+		for w, win := range s.windows {
+			if w == 0 || w == len(s.windows)/2 {
+				// Fresh engine at the start and once mid-run (the controller
+				// rebuilds engines on reconfiguration; counters restart).
+				var err error
+				e, err = NewEngine(l.Cfg, l.G, l.Pos, l.LoopBranch, l.Mem, l.Hier)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			r, err := e.RunLoop(&regs, LoopOptions{Pipelined: w%2 == 1, MaxIterations: win})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res = append(res, r)
+		}
+		wantRes[i] = res
+		wantRegs[i] = regs
+		wantCounters[i] = copyCounters(e.Counters())
+		wantActivity[i] = e.Activity()
+	}
+
+	// Batched, one goroutine per lane.
+	r := NewBatchRunner(lanes)
+	gotRes := make([][]*LoopResult, lanes)
+	gotRegs := make([][isa.NumRegs]uint32, lanes)
+	gotCounters := make([]*Counters, lanes)
+	gotActivity := make([]Activity, lanes)
+	errs := make([]error, lanes)
+	var wg sync.WaitGroup
+	for i, s := range specs {
+		wg.Add(1)
+		go func(i int, s laneSpec) {
+			defer wg.Done()
+			h := r.Lane(i)
+			defer h.Finish()
+			l, regs := mkLane(s)
+			var eng *BatchLaneEngine
+			for w, win := range s.windows {
+				if w == 0 || w == len(s.windows)/2 {
+					var err error
+					eng, err = h.Engine(l.Cfg, l.G, l.Pos, l.LoopBranch, l.Mem, l.Hier)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+				}
+				res, err := eng.RunLoop(&regs, LoopOptions{Pipelined: w%2 == 1, MaxIterations: win})
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				gotRes[i] = append(gotRes[i], res)
+			}
+			gotRegs[i] = regs
+			gotCounters[i] = eng.Counters()
+			gotActivity[i] = eng.Activity()
+		}(i, s)
+	}
+	wg.Wait()
+
+	for i, s := range specs {
+		if errs[i] != nil {
+			t.Fatalf("lane %d: %v", i, errs[i])
+		}
+		if s.mismatch {
+			if !r.Lane(i).scalar {
+				t.Errorf("lane %d: mismatched graph did not fall back to scalar", i)
+			}
+		} else if r.Lane(i).scalar {
+			t.Errorf("lane %d: unexpectedly fell back to scalar", i)
+		}
+		for w := range s.windows {
+			assertLoopResultsEqual(t, fmt.Sprintf("lane %d window %d", i, w), wantRes[i][w], gotRes[i][w])
+		}
+		if gotRegs[i] != wantRegs[i] {
+			t.Errorf("lane %d: registers differ", i)
+		}
+		if !reflect.DeepEqual(wantCounters[i], gotCounters[i]) {
+			t.Errorf("lane %d: counters differ", i)
+		}
+		if wantActivity[i] != gotActivity[i] {
+			t.Errorf("lane %d: activity differs", i)
+		}
+	}
+}
+
+// TestBatchRunnerDetachKeepsCounters pins the superseded-engine contract:
+// after a handle builds a new engine, the old engine's counters and activity
+// remain readable (the controller's swapEngine reads the previous engine
+// after constructing its replacement).
+func TestBatchRunnerDetachKeepsCounters(t *testing.T) {
+	r := NewBatchRunner(1)
+	h := r.Lane(0)
+	defer h.Finish()
+	l, regs := allocLoopLane(t, false)
+	e1, err := h.Engine(l.Cfg, l.G, l.Pos, l.LoopBranch, l.Mem, l.Hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.RunLoop(&regs, LoopOptions{MaxIterations: 40}); err != nil {
+		t.Fatal(err)
+	}
+	before := e1.Counters()
+	beforeAct := e1.Activity()
+
+	e2, err := h.Engine(l.Cfg, l.G, l.Pos, l.LoopBranch, l.Mem, l.Hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, e1.Counters()) {
+		t.Error("detached counters changed after reconfiguration")
+	}
+	if beforeAct != e1.Activity() {
+		t.Error("detached activity changed after reconfiguration")
+	}
+	if _, err := e1.RunLoop(&regs, LoopOptions{MaxIterations: 1}); err == nil {
+		t.Error("RunLoop on superseded engine succeeded")
+	}
+	if _, err := e2.RunLoop(&regs, LoopOptions{MaxIterations: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.Counters(); got.Iterations != 10 {
+		t.Errorf("new engine counters: %d iterations, want 10", got.Iterations)
+	}
+}

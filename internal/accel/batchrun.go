@@ -1,0 +1,317 @@
+package accel
+
+import (
+	"fmt"
+	"sync"
+
+	"mesa/internal/dfg"
+	"mesa/internal/isa"
+	"mesa/internal/mem"
+	"mesa/internal/noc"
+	"mesa/internal/obs"
+)
+
+// BatchRunner lets N independent simulation drivers (one goroutine each,
+// e.g. N MESA controllers sweeping configs of one kernel) share a single
+// lockstep BatchEngine. Each driver owns one BatchLaneHandle and builds
+// engines through it exactly as it would call NewEngine; RunLoop calls from
+// the lanes rendezvous into combining rounds: when every participating lane
+// has a loop request outstanding, the arrivals are executed as one batched
+// RunLoops pass and the per-lane results handed back.
+//
+// The rendezvous is deadlock-free because lanes leave the pool explicitly:
+// a lane that stops running loops calls Finish (or falls back to the scalar
+// path), shrinking the quorum the next round waits for. Per-lane results
+// are byte-identical to scalar execution — the engine guarantees it per
+// lane, and the runner adds only scheduling.
+type BatchRunner struct {
+	mu      sync.Mutex
+	eng     *BatchEngine
+	nBatch  int // unfinished lanes on the batched (non-scalar) path
+	pending []*laneReq
+	handles []BatchLaneHandle
+}
+
+type laneReq struct {
+	slot int
+	regs *[isa.NumRegs]uint32
+	opts LoopOptions
+	res  *LoopResult
+	err  error
+	done chan struct{}
+}
+
+// NewBatchRunner creates a runner with the given number of lanes.
+func NewBatchRunner(lanes int) *BatchRunner {
+	r := &BatchRunner{
+		eng:     newBatchEngine(lanes),
+		nBatch:  lanes,
+		handles: make([]BatchLaneHandle, lanes),
+	}
+	for i := range r.handles {
+		r.handles[i] = BatchLaneHandle{r: r, slot: i}
+	}
+	return r
+}
+
+// Lane returns lane i's handle. Each handle belongs to one driver
+// goroutine; distinct handles may be used concurrently.
+func (r *BatchRunner) Lane(i int) *BatchLaneHandle { return &r.handles[i] }
+
+// BatchLaneHandle is one driver's port into the shared batch. It hands out
+// BatchLaneEngine values that satisfy the same contract as *Engine.
+type BatchLaneHandle struct {
+	r        *BatchRunner
+	slot     int
+	finished bool
+	// scalar marks the lane as permanently fallen back to private scalar
+	// engines: its graph didn't match the batch shape, its config failed
+	// batch validation, or it needs tracing. Scalar lanes leave the
+	// rendezvous quorum and behave exactly like direct NewEngine users.
+	scalar bool
+	cur    *BatchLaneEngine
+}
+
+// Engine builds the lane's next engine over the given configuration,
+// mirroring NewEngine's contract (the controller reconfigures between
+// optimization rounds; each call supersedes the previous engine, whose
+// counters and activity remain readable). On any batch-side configuration
+// failure the lane permanently falls back to scalar engines, preserving
+// NewEngine's exact error surface.
+func (h *BatchLaneHandle) Engine(cfg *Config, g *dfg.Graph, pos []noc.Coord, loopBranch dfg.NodeID, m *mem.Memory, hier *mem.Hierarchy) (*BatchLaneEngine, error) {
+	r := h.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h.finished {
+		return nil, fmt.Errorf("accel: batch lane %d used after Finish", h.slot)
+	}
+	if h.cur != nil {
+		h.cur.detachLocked()
+		h.cur = nil
+	}
+	lane := BatchLane{Cfg: cfg, G: g, Pos: pos, LoopBranch: loopBranch, Mem: m, Hier: hier}
+	if !h.scalar {
+		if err := r.eng.configureSlot(h.slot, lane); err != nil {
+			// Leave the batch: this lane's shape or config doesn't fit.
+			// The quorum shrinks, possibly releasing a waiting round.
+			h.scalar = true
+			r.nBatch--
+			r.maybeRoundLocked()
+		}
+	}
+	if h.scalar {
+		sc, err := NewEngine(cfg, g, pos, loopBranch, m, hier)
+		if err != nil {
+			return nil, err
+		}
+		h.cur = &BatchLaneEngine{h: h, lane: lane, sc: sc}
+		return h.cur, nil
+	}
+	h.cur = &BatchLaneEngine{h: h, lane: lane}
+	return h.cur, nil
+}
+
+// Finish retires the lane: it will run no more loops, so rendezvous rounds
+// stop waiting for it. Idempotent; every lane must eventually call it (or
+// its driver must abandon the runner entirely) or other lanes block.
+func (h *BatchLaneHandle) Finish() {
+	r := h.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h.finished {
+		return
+	}
+	h.finished = true
+	if !h.scalar {
+		r.nBatch--
+		r.maybeRoundLocked()
+	}
+}
+
+// maybeRoundLocked fires a combining round if every remaining batched lane
+// has a request outstanding. Called with r.mu held; the round itself runs
+// after releasing the lock (no lane can join or leave meanwhile: joiners
+// block on r.mu and every batched lane is inside the round).
+func (r *BatchRunner) maybeRoundLocked() {
+	if r.nBatch > 0 && len(r.pending) == r.nBatch {
+		reqs := r.pending
+		r.pending = nil
+		r.mu.Unlock()
+		r.executeRound(reqs)
+		r.mu.Lock()
+	}
+}
+
+// runLoop enqueues one lane's loop request and blocks until a round
+// delivers its result. The arrival that completes the quorum executes the
+// round on its own goroutine.
+func (r *BatchRunner) runLoop(slot int, regs *[isa.NumRegs]uint32, opts LoopOptions) (*LoopResult, error) {
+	req := &laneReq{slot: slot, regs: regs, opts: opts, done: make(chan struct{})}
+	r.mu.Lock()
+	r.pending = append(r.pending, req)
+	if len(r.pending) == r.nBatch {
+		reqs := r.pending
+		r.pending = nil
+		r.mu.Unlock()
+		r.executeRound(reqs)
+	} else {
+		r.mu.Unlock()
+		<-req.done
+	}
+	return req.res, req.err
+}
+
+// executeRound runs one batched RunLoops pass over the gathered requests
+// and publishes per-lane results. The engine is quiescent for the duration:
+// every batched lane is a participant (blocked or executing here), and
+// scalar or finished lanes never touch it.
+func (r *BatchRunner) executeRound(reqs []*laneReq) {
+	runs := make([]LaneRun, len(reqs))
+	for i, q := range reqs {
+		runs[i] = LaneRun{Lane: q.slot, Regs: q.regs, Opts: q.opts}
+	}
+	results, err := r.eng.RunLoops(runs)
+	for i, q := range reqs {
+		if err != nil {
+			q.err = err
+		} else {
+			q.res, q.err = results[i].Res, results[i].Err
+		}
+		close(q.done)
+	}
+}
+
+// BatchLaneEngine is the engine a BatchLaneHandle hands to its driver. It
+// presents the scalar *Engine method set the controller consumes
+// (AttachRecorder, TraceClock, RunLoop, Feedback, Counters, Activity),
+// backed either by one lane of the shared BatchEngine or by a private
+// scalar Engine after fallback. A superseded engine (its handle built a
+// newer one) stays readable: its counters and activity are snapshotted at
+// detach time, matching the scalar pattern of holding onto a replaced
+// *Engine.
+type BatchLaneEngine struct {
+	h    *BatchLaneHandle
+	lane BatchLane
+
+	// sc, when non-nil, delegates everything to a private scalar engine.
+	sc *Engine
+
+	// base is the trace clock offset received via AttachRecorder.
+	base float64
+
+	// Detach snapshot (batched lanes only).
+	detached    bool
+	detCounters *Counters
+	detActivity Activity
+}
+
+// detachLocked snapshots the live lane state so the engine stays readable
+// after its slot is reconfigured. Called with r.mu held.
+func (e *BatchLaneEngine) detachLocked() {
+	if e.sc != nil || e.detached {
+		return
+	}
+	e.detCounters = e.h.r.eng.LaneCounters(e.h.slot)
+	e.detActivity = e.h.r.eng.LaneActivity(e.h.slot)
+	e.detached = true
+}
+
+// AttachRecorder mirrors Engine.AttachRecorder. Batched lanes cannot emit
+// per-node traces (their firing order interleaves across lanes), so an
+// enabled recorder converts the lane to the scalar path on the spot — the
+// slot holds no measurements yet (attachment directly follows
+// construction), so nothing is lost and results stay byte-identical.
+func (e *BatchLaneEngine) AttachRecorder(rec *obs.Recorder, base float64) {
+	e.base = base
+	if e.sc != nil {
+		e.sc.AttachRecorder(rec, base)
+		return
+	}
+	if !rec.Enabled() {
+		return
+	}
+	h := e.h
+	r := h.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !h.scalar {
+		h.scalar = true
+		r.nBatch--
+		r.maybeRoundLocked()
+	}
+	sc, err := NewEngine(e.lane.Cfg, e.lane.G, e.lane.Pos, e.lane.LoopBranch, e.lane.Mem, e.lane.Hier)
+	if err != nil {
+		// configureSlot accepted the identical arguments, so NewEngine
+		// cannot fail here.
+		panic(fmt.Sprintf("accel: scalar fallback failed after batch accepted lane: %v", err))
+	}
+	e.sc = sc
+	sc.AttachRecorder(rec, base)
+}
+
+// TraceClock mirrors Engine.TraceClock.
+func (e *BatchLaneEngine) TraceClock() float64 {
+	if e.sc != nil {
+		return e.sc.TraceClock()
+	}
+	return e.base
+}
+
+// RunLoop mirrors Engine.RunLoop, rendezvousing with the other batched
+// lanes so the iterations execute in lockstep.
+func (e *BatchLaneEngine) RunLoop(regs *[isa.NumRegs]uint32, opts LoopOptions) (*LoopResult, error) {
+	if e.sc != nil {
+		return e.sc.RunLoop(regs, opts)
+	}
+	if e.detached {
+		return nil, fmt.Errorf("accel: batch lane %d: RunLoop on superseded engine", e.h.slot)
+	}
+	return e.h.r.runLoop(e.h.slot, regs, opts)
+}
+
+// Feedback mirrors Engine.Feedback.
+func (e *BatchLaneEngine) Feedback(g *dfg.Graph) (nodes, edges int, err error) {
+	if e.sc != nil {
+		return e.sc.Feedback(g)
+	}
+	if g.Len() != e.lane.G.Len() {
+		return 0, 0, fmt.Errorf("accel: feedback graph has %d nodes, engine has %d", g.Len(), e.lane.G.Len())
+	}
+	r := e.h.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.detached {
+		nodes, edges = applyFeedback(g, e.detCounters)
+		return nodes, edges, nil
+	}
+	return e.h.r.eng.LaneFeedback(e.h.slot, g)
+}
+
+// Counters mirrors Engine.Counters. The returned set is a detached copy:
+// safe to retain across reconfigurations of the underlying lane slot.
+func (e *BatchLaneEngine) Counters() *Counters {
+	if e.sc != nil {
+		return e.sc.Counters()
+	}
+	r := e.h.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.detached {
+		return e.detCounters
+	}
+	return e.h.r.eng.LaneCounters(e.h.slot)
+}
+
+// Activity mirrors Engine.Activity.
+func (e *BatchLaneEngine) Activity() Activity {
+	if e.sc != nil {
+		return e.sc.Activity()
+	}
+	r := e.h.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.detached {
+		return e.detActivity
+	}
+	return e.h.r.eng.LaneActivity(e.h.slot)
+}

@@ -39,8 +39,14 @@ type Engine struct {
 
 	// Resource state (reset per iteration; steady-state contention across
 	// iterations is captured by the initiation-interval model in run.go).
-	portFree []float64
-	laneFree [][]float64
+	// Ports reset by cursor, not by clearing: portZeroFrom is the first port
+	// untouched this iteration — grants sweep ports in index order (the
+	// arbiter picks the lowest-index minimum and untouched ports are the
+	// minimum, free at 0), so slots at or past the cursor hold only dead
+	// values from earlier iterations.
+	portFree     []float64
+	portZeroFrom int
+	laneFree     [][]float64
 
 	// Strided-prefetch state per load node (§4.2): once a load's address
 	// advances by a stable stride between iterations, the next iteration's
@@ -197,7 +203,7 @@ func NewEngine(cfg *Config, g *dfg.Graph, pos []noc.Coord, loopBranch dfg.NodeID
 		pfStride:   make([]int64, n),
 		pfSeen:     make([]uint8, n),
 	}
-	e.buildEdgeIndex()
+	e.edges, e.edgePairs = buildEdgeIndex(g)
 	e.counters = Counters{
 		OpLatSum:     make([]float64, n),
 		OpLatN:       make([]uint64, n),
@@ -275,19 +281,21 @@ func NewEngine(cfg *Config, g *dfg.Graph, pos []noc.Coord, loopBranch dfg.NodeID
 // buildEdgeIndex assigns every distinct (from,to) dependency pair a dense
 // index into the Counters edge slices. Duplicate pairs (a node consuming the
 // same producer through several operand slots) share one index, so per-pair
-// aggregation is identical to the previous map-keyed accumulation.
-func (e *Engine) buildEdgeIndex() {
-	g := e.g
-	e.edges = make([]nodeEdges, g.Len())
+// aggregation is identical to the previous map-keyed accumulation. It is a
+// free function because the scalar Engine and the batched engine both build
+// the same index from the same graph.
+func buildEdgeIndex(g *dfg.Graph) ([]nodeEdges, []uint64) {
+	edges := make([]nodeEdges, g.Len())
+	var pairs []uint64
 	idxOf := make(map[uint64]int32, g.Len())
 	idx := func(from, to dfg.NodeID) int32 {
 		key := edgeKey(from, to)
 		if i, ok := idxOf[key]; ok {
 			return i
 		}
-		i := int32(len(e.edgePairs))
+		i := int32(len(pairs))
 		idxOf[key] = i
-		e.edgePairs = append(e.edgePairs, key)
+		pairs = append(pairs, key)
 		return i
 	}
 	for i := range g.Nodes {
@@ -305,8 +313,9 @@ func (e *Engine) buildEdgeIndex() {
 		if n.PredDep != dfg.None {
 			ne.pred = idx(n.PredDep, id)
 		}
-		e.edges[i] = ne
+		edges[i] = ne
 	}
+	return edges, pairs
 }
 
 // nextPow2 returns the smallest power of two >= n (n must be positive).
@@ -447,10 +456,23 @@ func (e *Engine) port(ready float64, addr uint32) float64 {
 		}
 		lineSlot = slot
 	}
-	best := 0
-	for p := 1; p < len(e.portFree); p++ {
-		if e.portFree[p] < e.portFree[best] {
-			best = p
+	var best int
+	if z := e.portZeroFrom; z < len(e.portFree) {
+		// Ports at or past the cursor are untouched this iteration: their
+		// free time is 0, the global minimum (grants only raise free times),
+		// and the scan below picks the lowest-index minimum — which is
+		// exactly z. Granting through the cursor keeps selection, timing,
+		// and counters identical while skipping the O(ports) scan and the
+		// per-iteration O(ports) clear.
+		best = z
+		e.portZeroFrom = z + 1
+		e.portFree[best] = 0
+	} else {
+		best = 0
+		for p := 1; p < len(e.portFree); p++ {
+			if e.portFree[p] < e.portFree[best] {
+				best = p
+			}
 		}
 	}
 	start := math.Max(ready, e.portFree[best])
@@ -517,9 +539,7 @@ func readReg(regs *[isa.NumRegs]uint32, r isa.Reg) uint32 {
 // iteration.
 func (e *Engine) RunIteration(regs *[isa.NumRegs]uint32) (IterationResult, error) {
 	g := e.g
-	for i := range e.portFree {
-		e.portFree[i] = 0
-	}
+	e.portZeroFrom = 0 // all ports free; stale slots die on first grant
 	for r := range e.laneFree {
 		for l := range e.laneFree[r] {
 			e.laneFree[r][l] = 0
@@ -678,7 +698,7 @@ func (e *Engine) RunIteration(regs *[isa.NumRegs]uint32) (IterationResult, error
 				e.prefetchNext(id, addr)
 				// Functional read sees program-order memory: apply any
 				// overlapping earlier stores of this iteration first.
-				v, err := e.loadWithBuffer(n.Inst.Op, addr, storeBuf)
+				v, err := loadThroughBuffer(e.mem, n.Inst.Op, addr, storeBuf)
 				if err != nil {
 					return IterationResult{}, err
 				}
@@ -798,9 +818,10 @@ func (e *Engine) RunIteration(regs *[isa.NumRegs]uint32) (IterationResult, error
 // latencies.
 func (e *Engine) AddElapsed(cycles float64) { e.activity.Cycles += cycles }
 
-// loadWithBuffer reads memory as seen at this point of the iteration:
-// earlier enabled stores of the same iteration shadow memory contents.
-func (e *Engine) loadWithBuffer(op isa.Op, addr uint32, buf []storeBufEntry) (uint32, error) {
+// loadThroughBuffer reads memory as seen at this point of the iteration:
+// earlier enabled stores of the same iteration shadow memory contents. It is
+// a free function shared by the scalar and batched engines.
+func loadThroughBuffer(m *mem.Memory, op isa.Op, addr uint32, buf []storeBufEntry) (uint32, error) {
 	width := mem.AccessBytes(op)
 	covered := false
 	for s := len(buf) - 1; s >= 0 && !covered; s-- {
@@ -809,7 +830,7 @@ func (e *Engine) loadWithBuffer(op isa.Op, addr uint32, buf []storeBufEntry) (ui
 		}
 	}
 	if !covered {
-		return e.mem.Load(op, addr)
+		return m.Load(op, addr)
 	}
 	// Overlay: apply buffered stores byte-wise onto a copy of the loaded
 	// bytes. Rare path (aliasing within one iteration); accesses are at most
@@ -817,7 +838,7 @@ func (e *Engine) loadWithBuffer(op isa.Op, addr uint32, buf []storeBufEntry) (ui
 	var scratch [4]byte
 	bytes := scratch[:width]
 	for k := range bytes {
-		bytes[k] = e.mem.LoadByte(addr + uint32(k))
+		bytes[k] = m.LoadByte(addr + uint32(k))
 	}
 	for _, st := range buf {
 		if !st.enabled {

@@ -1,0 +1,64 @@
+package accel
+
+import (
+	"strings"
+	"testing"
+
+	"mesa/internal/isa"
+	"mesa/internal/noc"
+)
+
+func configPrint(c *Config) string {
+	var b strings.Builder
+	c.Fingerprint(&b)
+	return b.String()
+}
+
+// TestConfigFingerprintDistinguishesEveryField: every Config field is
+// simulation-relevant, so perturbing any one of them must change the
+// fingerprint — a collision would let the memo cache (and the mesad response
+// store) serve one configuration's timing for another.
+func TestConfigFingerprintDistinguishesEveryField(t *testing.T) {
+	muts := []struct {
+		name   string
+		mutate func(c *Config)
+	}{
+		{"Name", func(c *Config) { c.Name = "M-128-variant" }},
+		{"Rows", func(c *Config) { c.Rows++ }},
+		{"Cols", func(c *Config) { c.Cols++ }},
+		{"EdgeDepth", func(c *Config) { c.EdgeDepth++ }},
+		{"FPSlice", func(c *Config) { c.FPSlice++ }},
+		{"Interconnect type", func(c *Config) { c.Interconnect = noc.DefaultRowSlice() }},
+		{"Interconnect value", func(c *Config) {
+			hr := noc.DefaultHalfRing()
+			hr.RouterLat++
+			c.Interconnect = hr
+		}},
+		{"NoCLanesPerRow", func(c *Config) { c.NoCLanesPerRow++ }},
+		{"MemPorts", func(c *Config) { c.MemPorts++ }},
+		{"OpLat", func(c *Config) { c.OpLat[isa.ClassALU]++ }},
+		{"LoadLatEstimate", func(c *Config) { c.LoadLatEstimate++ }},
+		{"BusLat", func(c *Config) { c.BusLat++ }},
+		{"EnablePrefetch", func(c *Config) { c.EnablePrefetch = !c.EnablePrefetch }},
+		{"EnableVectorization", func(c *Config) { c.EnableVectorization = !c.EnableVectorization }},
+		{"ClockGHz", func(c *Config) { c.ClockGHz++ }},
+	}
+
+	prints := map[string]string{"base": configPrint(M128())}
+	for _, m := range muts {
+		c := M128()
+		m.mutate(c)
+		fp := configPrint(c)
+		for other, ofp := range prints {
+			if fp == ofp {
+				t.Errorf("mutating %s collides with %s: %s", m.name, other, fp)
+			}
+		}
+		prints[m.name] = fp
+	}
+
+	// Determinism: the same config always prints the same bytes.
+	if configPrint(M128()) != prints["base"] {
+		t.Error("fingerprint is not deterministic for identical configs")
+	}
+}

@@ -91,12 +91,22 @@ func (e *Engine) RunLoop(regs *[isa.NumRegs]uint32, opts LoopOptions) (*LoopResu
 			break
 		}
 	}
+	finishLoop(res, e.attribSource(), opts)
+	e.AddElapsed(res.TotalCycles)
+	return res, nil
+}
+
+// finishLoop derives the mode-adjusted totals and the attribution report for
+// an executed loop. It is shared by the scalar RunLoop and the batched
+// engine's per-lane finalization, so both paths produce identical results
+// from identical counters. opts.Tiles must already be normalized (>= 1).
+func finishLoop(res *LoopResult, src *attribSource, opts LoopOptions) {
 	res.AvgIterCycles = res.SerialCycles / float64(res.Iterations)
 	res.II = res.AvgIterCycles
 	res.TotalCycles = res.SerialCycles
 	res.Bound = "serial"
 
-	res.Attrib = e.Explain(opts)
+	res.Attrib = src.explain(opts)
 	if opts.Pipelined || opts.Tiles > 1 {
 		res.II = res.Attrib.II
 		res.Bound = res.Attrib.Chosen
@@ -106,8 +116,6 @@ func (e *Engine) RunLoop(regs *[isa.NumRegs]uint32, opts LoopOptions) (*LoopResu
 			res.TotalCycles = res.AvgIterCycles
 		}
 	}
-	e.AddElapsed(res.TotalCycles)
-	return res, nil
 }
 
 // InitiationInterval computes the steady-state cycles between successive
@@ -130,23 +138,6 @@ func (e *Engine) InitiationInterval(opts LoopOptions) (float64, string) {
 	return a.II, a.Chosen
 }
 
-// liveInUsed reports whether register r is read as a live-in anywhere in
-// the graph (including predication live-ins).
-func (e *Engine) liveInUsed(r isa.Reg) bool {
-	for i := range e.g.Nodes {
-		n := &e.g.Nodes[i]
-		for k := 0; k < 3; k++ {
-			if n.Src[k] == dfg.None && n.LiveIn[k] == r {
-				return true
-			}
-		}
-		if n.PredLiveIn == r {
-			return true
-		}
-	}
-	return false
-}
-
 // Feedback writes the measured per-node operation latencies and per-edge
 // transfer latencies back into the graph's performance model — the
 // counter-driven refinement loop of the paper (F3). It returns the number
@@ -156,21 +147,29 @@ func (e *Engine) Feedback(g *dfg.Graph) (nodes, edges int, err error) {
 	if g.Len() != e.g.Len() {
 		return 0, 0, fmt.Errorf("accel: feedback graph has %d nodes, engine has %d", g.Len(), e.g.Len())
 	}
+	nodes, edges = applyFeedback(g, &e.counters)
+	return nodes, edges, nil
+}
+
+// applyFeedback folds a counter set's measured latencies back into g.
+// Shared by the scalar engine's Feedback and the batched per-lane path.
+// The caller must have verified that g matches the counters' graph.
+func applyFeedback(g *dfg.Graph, c *Counters) (nodes, edges int) {
 	for i := range g.Nodes {
-		if n := e.counters.OpLatN[i]; n > 0 {
-			measured := e.counters.OpLatSum[i] / float64(n)
+		if n := c.OpLatN[i]; n > 0 {
+			measured := c.OpLatSum[i] / float64(n)
 			if math.Abs(measured-g.Nodes[i].OpLat) > 1e-9 {
 				nodes++
 			}
 			g.Nodes[i].OpLat = measured
 		}
 	}
-	for k, sum := range e.counters.EdgeLatSum {
-		n := e.counters.EdgeLatN[k]
+	for k, sum := range c.EdgeLatSum {
+		n := c.EdgeLatN[k]
 		if n == 0 {
 			continue
 		}
-		key := e.counters.EdgePairs[k]
+		key := c.EdgePairs[k]
 		from := dfg.NodeID(key >> 32)
 		to := dfg.NodeID(key & 0xFFFFFFFF)
 		measured := sum / float64(n)
@@ -179,7 +178,7 @@ func (e *Engine) Feedback(g *dfg.Graph) (nodes, edges int, err error) {
 		}
 		g.SetEdgeLatency(from, to, measured)
 	}
-	return nodes, edges, nil
+	return nodes, edges
 }
 
 // MeasuredAMAT returns the average measured load latency in cycles.

@@ -67,6 +67,15 @@ type Options struct {
 	// phase changes, and accelerator events. nil (the default) disables
 	// tracing with no overhead beyond one branch per hook.
 	Recorder *obs.Recorder
+
+	// EngineFactory overrides how offload builds accelerator engines from
+	// decoded bitstream configurations (nil uses accel.NewEngine). It is a
+	// mechanism knob, not a semantics knob — implementations must behave
+	// byte-identically to the scalar engine — so it is deliberately
+	// excluded from Fingerprint: memoized results are valid across engine
+	// mechanisms (the batched sweep path relies on this to share cache
+	// entries with scalar runs).
+	EngineFactory EngineFactory
 }
 
 // DefaultOptions returns the evaluation defaults for a backend.
@@ -469,7 +478,7 @@ func (c *Controller) offload(cr *configuredRegion, machine *sim.Machine, hier *m
 	// Configuration travels to the accelerator as the serialized bitstream
 	// (task T3): the engine is constructed from the decoded stream, so the
 	// bitstream provably carries the complete configuration.
-	engine, words, err := engineFromBitstream(be, cr.ldfg, cr.sdfg, machine.Mem, hier)
+	engine, words, err := c.engineFromBitstream(be, cr.ldfg, cr.sdfg, machine.Mem, hier)
 	if err != nil {
 		return err
 	}
@@ -491,7 +500,7 @@ func (c *Controller) offload(cr *configuredRegion, machine *sim.Machine, hier *m
 	swapEngine := func(s *SDFG) error {
 		prevEngine := engine
 		var err error
-		engine, _, err = engineFromBitstream(be, cr.ldfg, s, machine.Mem, hier)
+		engine, _, err = c.engineFromBitstream(be, cr.ldfg, s, machine.Mem, hier)
 		if err != nil {
 			return err
 		}
@@ -630,8 +639,10 @@ func (c *Controller) offload(cr *configuredRegion, machine *sim.Machine, hier *m
 
 // engineFromBitstream serializes the mapping to the configuration bitstream
 // and builds the accelerator engine from the decoded stream, returning the
-// stream size in words.
-func engineFromBitstream(be *accel.Config, ldfg *LDFG, sdfg *SDFG, memory *mem.Memory, hier *mem.Hierarchy) (*accel.Engine, int, error) {
+// stream size in words. The engine comes from Options.EngineFactory when
+// set (e.g. a batched lane), and accel.NewEngine otherwise; either way the
+// bitstream provably carries the complete configuration.
+func (c *Controller) engineFromBitstream(be *accel.Config, ldfg *LDFG, sdfg *SDFG, memory *mem.Memory, hier *mem.Hierarchy) (LoopEngine, int, error) {
 	bits, err := accel.EncodeConfig(ldfg.Graph, sdfg.Pos, ldfg.LoopBranch)
 	if err != nil {
 		return nil, 0, err
@@ -639,6 +650,13 @@ func engineFromBitstream(be *accel.Config, ldfg *LDFG, sdfg *SDFG, memory *mem.M
 	g, pos, loopBranch, err := accel.DecodeConfig(bits)
 	if err != nil {
 		return nil, 0, err
+	}
+	if c.opts.EngineFactory != nil {
+		engine, err := c.opts.EngineFactory(be, g, pos, loopBranch, memory, hier)
+		if err != nil {
+			return nil, 0, err
+		}
+		return engine, bits.Words(), nil
 	}
 	engine, err := accel.NewEngine(be, g, pos, loopBranch, memory, hier)
 	if err != nil {

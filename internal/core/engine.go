@@ -1,0 +1,34 @@
+package core
+
+import (
+	"mesa/internal/accel"
+	"mesa/internal/dfg"
+	"mesa/internal/isa"
+	"mesa/internal/mem"
+	"mesa/internal/noc"
+	"mesa/internal/obs"
+)
+
+// LoopEngine is the accelerator-engine contract the controller's offload
+// loop consumes: the exact subset of *accel.Engine it calls. The scalar
+// engine implements it directly; accel.BatchLaneEngine implements it over
+// one lane of a shared lockstep batch. Any implementation must be
+// observationally identical to the scalar engine — the controller's revert
+// and feedback decisions compare measured latencies across windows, so a
+// divergent engine would change optimization behavior, not just timing.
+type LoopEngine interface {
+	AttachRecorder(r *obs.Recorder, base float64)
+	TraceClock() float64
+	RunLoop(regs *[isa.NumRegs]uint32, opts accel.LoopOptions) (*accel.LoopResult, error)
+	Feedback(g *dfg.Graph) (nodes, edges int, err error)
+	Counters() *accel.Counters
+	Activity() accel.Activity
+}
+
+// EngineFactory builds the engine for one offload, from the configuration
+// the controller decoded out of the bitstream. It is a mechanism hook, not
+// a semantics hook: implementations must return engines byte-identical in
+// behavior to accel.NewEngine (the batched differential tests enforce
+// this), which is why the factory is excluded from Options.Fingerprint —
+// cached results are valid across engine mechanisms.
+type EngineFactory func(cfg *accel.Config, g *dfg.Graph, pos []noc.Coord, loopBranch dfg.NodeID, m *mem.Memory, hier *mem.Hierarchy) (LoopEngine, error)

@@ -5,7 +5,11 @@ import (
 	"testing"
 
 	"mesa/internal/accel"
+	"mesa/internal/dfg"
 	"mesa/internal/mapping"
+	"mesa/internal/mem"
+	"mesa/internal/noc"
+	"mesa/internal/obs"
 )
 
 func fingerprintOf(t *testing.T, o *Options) string {
@@ -65,5 +69,92 @@ func TestFingerprintKeysRefinementKnobs(t *testing.T) {
 	steps.MapperOpts.RefineSteps = 50
 	if fingerprintOf(t, &steps) == base {
 		t.Error("MapperOpts.RefineSteps does not perturb the fingerprint")
+	}
+}
+
+// TestFingerprintDistinguishesEveryOption: every semantics-bearing Options
+// field must perturb the fingerprint — a collision would let scalar and
+// batched sweeps (which share the memo cache by design) serve one
+// configuration's result for another.
+func TestFingerprintDistinguishesEveryOption(t *testing.T) {
+	congestion, err := mapping.ByName("congestion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts := []struct {
+		name   string
+		mutate func(o *Options)
+	}{
+		{"Backend", func(o *Options) { o.Backend = accel.M512() }},
+		{"Detector.MaxInsts", func(o *Options) { o.Detector.MaxInsts++ }},
+		{"Detector.StableIterations", func(o *Options) { o.Detector.StableIterations++ }},
+		{"Detector.MinIterations", func(o *Options) { o.Detector.MinIterations++ }},
+		{"Detector.MaxMemFrac", func(o *Options) { o.Detector.MaxMemFrac += 0.125 }},
+		{"Detector.SupportsFP", func(o *Options) { o.Detector.SupportsFP = !o.Detector.SupportsFP }},
+		{"Detector.ParallelLoops", func(o *Options) { o.Detector.ParallelLoops = map[uint32]bool{0x1000: true} }},
+		{"Mapper", func(o *Options) { o.Mapper = congestion }},
+		{"MapperOpts.WindowRows", func(o *Options) { o.MapperOpts.WindowRows++ }},
+		{"MapperOpts.WindowCols", func(o *Options) { o.MapperOpts.WindowCols++ }},
+		{"MapperOpts.FullSearchFallback", func(o *Options) { o.MapperOpts.FullSearchFallback = !o.MapperOpts.FullSearchFallback }},
+		{"MapperOpts.DisableTieBreak", func(o *Options) { o.MapperOpts.DisableTieBreak = !o.MapperOpts.DisableTieBreak }},
+		{"MapperOpts.TimeShare", func(o *Options) { o.MapperOpts.TimeShare = 4 }},
+		{"MapperOpts.Tiles", func(o *Options) { o.MapperOpts.Tiles = 2 }},
+		{"MapperOpts.Seed", func(o *Options) { o.MapperOpts.Seed = 7 }},
+		{"MapperOpts.RefineSteps", func(o *Options) { o.MapperOpts.RefineSteps = 50 }},
+		{"OptimizeBatch", func(o *Options) { o.OptimizeBatch++ }},
+		{"MaxOptimizeRounds", func(o *Options) { o.MaxOptimizeRounds++ }},
+		{"ImproveThreshold", func(o *Options) { o.ImproveThreshold += 0.125 }},
+		{"EnableTiling", func(o *Options) { o.EnableTiling = !o.EnableTiling }},
+		{"EnablePipelining", func(o *Options) { o.EnablePipelining = !o.EnablePipelining }},
+		{"MaxTiles", func(o *Options) { o.MaxTiles++ }},
+		{"MinEstimatedIterations", func(o *Options) { o.MinEstimatedIterations++ }},
+		{"ConfigCacheSize", func(o *Options) { o.ConfigCacheSize++ }},
+		{"MaxLoopIterations", func(o *Options) { o.MaxLoopIterations++ }},
+	}
+
+	prints := map[string]string{"base": fingerprintOf(t, &Options{Backend: accel.M128()})}
+	base := DefaultOptions(accel.M128())
+	prints["defaults"] = fingerprintOf(t, &base)
+	for _, m := range muts {
+		o := DefaultOptions(accel.M128())
+		m.mutate(&o)
+		fp := fingerprintOf(t, &o)
+		for other, ofp := range prints {
+			if fp == ofp {
+				t.Errorf("mutating %s collides with %s: %s", m.name, other, fp)
+			}
+		}
+		prints[m.name] = fp
+	}
+}
+
+// TestFingerprintExcludesMechanismKnobs pins the documented exclusions:
+// Recorder, EngineFactory, and MapperOpts.Attrib must NOT perturb the
+// fingerprint — tracing never changes simulated behaviour, every engine
+// factory is byte-identical to the scalar engine, and Attrib is per-call
+// feedback the controller fills during a run. Their exclusion is what lets
+// traced, scalar, and batched runs share memo entries.
+func TestFingerprintExcludesMechanismKnobs(t *testing.T) {
+	base := DefaultOptions(accel.M128())
+	want := fingerprintOf(t, &base)
+
+	traced := base
+	traced.Recorder = obs.NewRecorder()
+	if fingerprintOf(t, &traced) != want {
+		t.Error("Recorder perturbs the fingerprint; traced runs would never share cache entries")
+	}
+
+	batched := base
+	batched.EngineFactory = func(cfg *accel.Config, g *dfg.Graph, pos []noc.Coord, loopBranch dfg.NodeID, m *mem.Memory, hier *mem.Hierarchy) (LoopEngine, error) {
+		return nil, nil
+	}
+	if fingerprintOf(t, &batched) != want {
+		t.Error("EngineFactory perturbs the fingerprint; batched sweeps could not share scalar cache entries")
+	}
+
+	fedback := base
+	fedback.MapperOpts.Attrib = &accel.Attribution{}
+	if fingerprintOf(t, &fedback) != want {
+		t.Error("MapperOpts.Attrib perturbs the fingerprint")
 	}
 }

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"mesa/internal/accel"
+	"mesa/internal/core"
+	"mesa/internal/dfg"
+	"mesa/internal/isa"
+	"mesa/internal/kernels"
+	"mesa/internal/mem"
+	"mesa/internal/noc"
+)
+
+// BatchPoint is one sweep point for RunMESABatch: the same inputs RunMESA
+// takes, as data.
+type BatchPoint struct {
+	Kernel     *kernels.Kernel
+	Backend    *accel.Config
+	CPUPerIter float64
+	Opts       MESAOptions
+}
+
+// BatchRunResult pairs RunMESA's two results for one point.
+type BatchRunResult struct {
+	Run *MESARun
+	Err error
+}
+
+// batchPrepared is one memo-distinct simulation ready to run as a batch
+// lane: program assembled, controller options resolved.
+type batchPrepared struct {
+	k    *kernels.Kernel
+	be   *accel.Config
+	prog *isa.Program
+	opts core.Options
+}
+
+// RunMESABatch runs a set of sweep points, stepping up to lanes memo-missing
+// simulations of the same kernel in lockstep on one accel.BatchEngine.
+// Results — values and errors — are identical to calling RunMESA per point
+// (the batched engine is byte-identical to the scalar one; the differential
+// tests enforce this), and the memo cache sees exactly the same keys:
+// in-memory and disk hits are excluded before lanes are formed, and misses
+// are published under the same single-flight discipline as the scalar path,
+// so concurrent RunMESA calls for the same point join the batch's flight.
+// lanes <= 1 degenerates to the scalar path.
+func RunMESABatch(pts []BatchPoint, lanes int) []BatchRunResult {
+	res := make([]BatchRunResult, len(pts))
+	if lanes <= 1 {
+		for i, p := range pts {
+			res[i].Run, res[i].Err = RunMESA(p.Kernel, p.Backend, p.CPUPerIter, p.Opts)
+		}
+		return res
+	}
+
+	// Resolve each point to its memo key, dedupe, and group the distinct
+	// simulations by kernel program identity: lanes of one batch must share
+	// the dataflow-graph shape, and the detected graph is a pure function of
+	// the program. Points whose program fails to assemble error out here,
+	// with the same wrapping as RunMESA.
+	byKey := map[string]*batchPrepared{}
+	groups := map[string][]string{}
+	var groupOrder []string
+	keyOf := make([]string, len(pts))
+	for i := range pts {
+		p := &pts[i]
+		prog, loopStart, err := p.Kernel.Program()
+		if err != nil {
+			res[i].Err = fmt.Errorf("%s on %s: %w", p.Kernel.Name, p.Backend.Name, err)
+			continue
+		}
+		opts := mesaControllerOptions(p.Kernel, loopStart, p.Backend, p.Opts)
+		key, err := memoKey("mesa", p.Kernel, opts.Fingerprint)
+		if err != nil {
+			// Unreachable once Program succeeded; keep the scalar behavior.
+			res[i].Run, res[i].Err = RunMESA(p.Kernel, p.Backend, p.CPUPerIter, p.Opts)
+			continue
+		}
+		keyOf[i] = key
+		if _, ok := byKey[key]; ok {
+			continue
+		}
+		byKey[key] = &batchPrepared{k: p.Kernel, be: p.Backend, prog: prog, opts: opts}
+		gk := memoKeyFromFill("batchgroup", func(h io.Writer) {
+			fmt.Fprintf(h, "base%d|", prog.Base)
+			hashProgram(h, prog)
+		})
+		if _, ok := groups[gk]; !ok {
+			groupOrder = append(groupOrder, gk)
+		}
+		groups[gk] = append(groups[gk], key)
+	}
+
+	// Groups are independent (no shared engine, no shared keys), so they run
+	// concurrently up to the sweep worker width: within a group the lanes
+	// step one shared BatchEngine in lockstep (data-parallel, one thread),
+	// across groups the machine parallelises. Results are merged by group
+	// index, so the outcome set is identical for any worker count. A group
+	// panic (transient by the memo contract; doBatch has already evicted and
+	// unblocked waiters) is captured and re-raised on this goroutine.
+	groupOut := make([]map[string]memoOutcome, len(groupOrder))
+	groupPanics := make([]any, len(groupOrder))
+	sem := make(chan struct{}, Workers())
+	var wg sync.WaitGroup
+	for gi, gk := range groupOrder {
+		wg.Add(1)
+		go func(gi int, keys []string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			defer func() {
+				if rec := recover(); rec != nil {
+					groupPanics[gi] = rec
+				}
+			}()
+			run := func(miss []string) map[string]memoOutcome {
+				// Chunks of one group are independent batches (each gets its
+				// own BatchRunner), so they too run concurrently; the shared
+				// out map is written only after every chunk joined.
+				var chunks [][]string
+				for start := 0; start < len(miss); start += lanes {
+					end := start + lanes
+					if end > len(miss) {
+						end = len(miss)
+					}
+					chunks = append(chunks, miss[start:end])
+				}
+				chunkOut := make([][]memoOutcome, len(chunks))
+				chunkPanics := make([]any, len(chunks))
+				var cwg sync.WaitGroup
+				for ci, chunk := range chunks {
+					cwg.Add(1)
+					go func(ci int, chunk []string) {
+						defer cwg.Done()
+						defer func() {
+							if rec := recover(); rec != nil {
+								chunkPanics[ci] = rec
+							}
+						}()
+						prep := make([]*batchPrepared, len(chunk))
+						for j, key := range chunk {
+							prep[j] = byKey[key]
+						}
+						chunkOut[ci] = runMESALanes(prep)
+					}(ci, chunk)
+				}
+				cwg.Wait()
+				for _, rec := range chunkPanics {
+					if rec != nil {
+						panic(rec)
+					}
+				}
+				out := make(map[string]memoOutcome, len(miss))
+				for ci, chunk := range chunks {
+					for j, o := range chunkOut[ci] {
+						out[chunk[j]] = o
+					}
+				}
+				return out
+			}
+			if memoEnabled.Load() {
+				groupOut[gi] = simMemo.doBatch(keys, diskCodec("mesa"), run)
+			} else {
+				groupOut[gi] = run(keys)
+			}
+		}(gi, groups[gk])
+	}
+	wg.Wait()
+	for _, rec := range groupPanics {
+		if rec != nil {
+			panic(rec)
+		}
+	}
+	outcomes := map[string]memoOutcome{}
+	for _, got := range groupOut {
+		for k, v := range got {
+			outcomes[k] = v
+		}
+	}
+
+	for i := range pts {
+		if keyOf[i] == "" {
+			continue // already resolved above
+		}
+		o, ok := outcomes[keyOf[i]]
+		if !ok {
+			res[i].Err = fmt.Errorf("experiments: batch produced no outcome for %s on %s",
+				pts[i].Kernel.Name, pts[i].Backend.Name)
+			continue
+		}
+		if o.err != nil {
+			res[i].Err = o.err
+			continue
+		}
+		res[i].Run = deriveMESARun(pts[i].Kernel, pts[i].Backend, pts[i].CPUPerIter, o.val.(*core.Report))
+	}
+	return res
+}
+
+// runMESALanes executes one lockstep batch: one controller per point, each
+// on its own goroutine, every offloaded loop stepping on a shared
+// accel.BatchRunner. Lanes whose engine configuration is incompatible with
+// the batch shape fall back to scalar engines inside the runner, so the
+// result is always exactly the scalar result. A panicking controller
+// releases its lane (no deadlock for the others) and re-panics here.
+func runMESALanes(prep []*batchPrepared) []memoOutcome {
+	outs := make([]memoOutcome, len(prep))
+	panics := make([]any, len(prep))
+	r := accel.NewBatchRunner(len(prep))
+	var wg sync.WaitGroup
+	for i, p := range prep {
+		wg.Add(1)
+		go func(i int, p *batchPrepared) {
+			defer wg.Done()
+			h := r.Lane(i)
+			defer h.Finish()
+			defer func() {
+				if rec := recover(); rec != nil {
+					panics[i] = rec
+				}
+			}()
+			opts := p.opts
+			opts.EngineFactory = func(cfg *accel.Config, g *dfg.Graph, pos []noc.Coord, loopBranch dfg.NodeID, m *mem.Memory, hier *mem.Hierarchy) (core.LoopEngine, error) {
+				eng, err := h.Engine(cfg, g, pos, loopBranch, m, hier)
+				if err != nil {
+					return nil, err
+				}
+				return eng, nil
+			}
+			outs[i].val, outs[i].err = runMESAUncached(p.k, p.be, p.prog, opts)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, rec := range panics {
+		if rec != nil {
+			panic(rec)
+		}
+	}
+	return outs
+}
+
+// DefaultSweepPoints enumerates the (kernel, backend, options) triples the
+// experiment suite simulates, for warming the memo cache in one batched
+// sweep (mesabench -batch). CPUPerIter is zero throughout: it only affects
+// the cheap per-call derivation, never the memo key, so the warmed entries
+// are shared by the real call sites whatever their per-iteration CPU costs.
+func DefaultSweepPoints() []BatchPoint {
+	var pts []BatchPoint
+	add := func(k *kernels.Kernel, be *accel.Config, o MESAOptions) {
+		pts = append(pts, BatchPoint{Kernel: k, Backend: be, Opts: o})
+	}
+	for _, k := range kernels.All() {
+		add(k, accel.M128(), MESAOptions{})
+		add(k, accel.M512(), MESAOptions{})
+	}
+	for _, name := range Figure12Kernels {
+		if k, err := kernels.ByName(name); err == nil {
+			add(k, accel.M128(), MESAOptions{DisableLoopOpts: true, DisableOptimization: true})
+		}
+	}
+	for _, name := range Figure14Kernels {
+		if k, err := kernels.ByName(name); err == nil {
+			add(k, accel.M64(), MESAOptions{DisableOptimization: true})
+			add(k, accel.M64(), MESAOptions{})
+		}
+	}
+	if nn, err := kernels.ByName("nn"); err == nil {
+		for _, pes := range Figure15PECounts {
+			add(nn, accel.WithPEs(pes), MESAOptions{})
+			ideal := accel.WithPEs(pes)
+			ideal.Name += "-idealmem"
+			ideal.MemPorts = 512
+			add(nn, ideal, MESAOptions{})
+		}
+	}
+	return pts
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"mesa/internal/isa"
+	"mesa/internal/kernels"
+)
+
+// TestMemoKeyFromFillStability pins the memo key construction byte-for-byte.
+// Keys address the on-disk result store, so an accidental layout change
+// would silently orphan every persisted entry: the literal hash below must
+// only ever change deliberately.
+func TestMemoKeyFromFillStability(t *testing.T) {
+	got := memoKeyFromFill("kindA", func(h io.Writer) { io.WriteString(h, "payload") })
+	const want = "94fd61c46be242c6b82760b8af8d7a781f40995c72cbbeeb782e15f054a40901"
+	if got != want {
+		t.Errorf("memoKeyFromFill layout changed:\n got %s\nwant %s", got, want)
+	}
+	if again := memoKeyFromFill("kindA", func(h io.Writer) { io.WriteString(h, "payload") }); again != got {
+		t.Errorf("memoKeyFromFill not deterministic: %s vs %s", got, again)
+	}
+	if other := memoKeyFromFill("kindB", func(h io.Writer) { io.WriteString(h, "payload") }); other == got {
+		t.Error("distinct kinds produced the same key")
+	}
+}
+
+// TestMemoKeyLayout rebuilds memoKey's documented layout by hand — kind,
+// kernel identity, program base and encoded words, literal seed/step bounds,
+// config fingerprint — and checks the production path produces the identical
+// digest. This is the guard that the memoKeyFromFill recomposition did not
+// change what the key hashes.
+func TestMemoKeyLayout(t *testing.T) {
+	k, err := kernels.ByName("nn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _, err := k.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := memoKey("mesa", k, func(h io.Writer) { io.WriteString(h, "CFG") })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h := sha256.New()
+	fmt.Fprintf(h, "mesa|%s|%d|%t|base%d|", k.Name, k.N, k.Parallel, prog.Base)
+	var word [4]byte
+	for _, in := range prog.Insts {
+		enc, err := isa.Encode(in)
+		if err != nil {
+			fmt.Fprintf(h, "raw%+v|", in)
+			continue
+		}
+		binary.LittleEndian.PutUint32(word[:], enc)
+		h.Write(word[:])
+	}
+	io.WriteString(h, "|seed42|steps50000000|CFG")
+	if want := hex.EncodeToString(h.Sum(nil)); got != want {
+		t.Errorf("memoKey layout drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestMemoDoBatch exercises the batch cache path on a private cache: dedupe,
+// per-key hit/miss accounting identical to per-key do(), error caching, and
+// the missing-outcome guard.
+func TestMemoDoBatch(t *testing.T) {
+	c := newMemoCache(0)
+	calls := 0
+	boom := errors.New("boom")
+	run := func(miss []string) map[string]memoOutcome {
+		calls++
+		out := make(map[string]memoOutcome, len(miss))
+		for _, k := range miss {
+			if k == "err" {
+				out[k] = memoOutcome{err: boom}
+				continue
+			}
+			out[k] = memoOutcome{val: "v:" + k}
+		}
+		return out
+	}
+
+	got := c.doBatch([]string{"a", "b", "a", "err"}, nil, run)
+	if calls != 1 {
+		t.Fatalf("run called %d times, want 1", calls)
+	}
+	if len(got) != 3 || got["a"].val != "v:a" || got["b"].val != "v:b" {
+		t.Fatalf("unexpected outcomes: %+v", got)
+	}
+	if got["err"].err != boom {
+		t.Fatalf("error outcome = %v, want boom", got["err"].err)
+	}
+	if c.misses != 3 || c.hits != 0 {
+		t.Fatalf("misses=%d hits=%d after cold batch, want 3/0", c.misses, c.hits)
+	}
+
+	// Second batch: everything (including the cached error) is a hit.
+	got = c.doBatch([]string{"a", "err", "b"}, nil, run)
+	if calls != 1 {
+		t.Fatalf("run re-invoked on a fully warm batch")
+	}
+	if got["err"].err != boom || got["a"].val != "v:a" {
+		t.Fatalf("warm outcomes differ: %+v", got)
+	}
+	if c.misses != 3 || c.hits != 3 {
+		t.Fatalf("misses=%d hits=%d after warm batch, want 3/3", c.misses, c.hits)
+	}
+
+	// Partial overlap: only the new key reaches run.
+	var lastMiss []string
+	c.doBatch([]string{"a", "c"}, nil, func(miss []string) map[string]memoOutcome {
+		lastMiss = append([]string(nil), miss...)
+		return map[string]memoOutcome{"c": {val: "v:c"}}
+	})
+	if len(lastMiss) != 1 || lastMiss[0] != "c" {
+		t.Fatalf("warm keys leaked into run: %v", lastMiss)
+	}
+
+	// A per-key do() for a batch-cached key is a pure hit.
+	v, err := c.do("c", nil, func() (any, error) {
+		t.Error("do() recomputed a batch-cached key")
+		return nil, nil
+	})
+	if err != nil || v != "v:c" {
+		t.Fatalf("do() after batch = %v, %v", v, err)
+	}
+
+	// A run that omits a key publishes an error instead of hanging waiters.
+	got = c.doBatch([]string{"d"}, nil, func(miss []string) map[string]memoOutcome {
+		return map[string]memoOutcome{}
+	})
+	if got["d"].err == nil || !strings.Contains(got["d"].err.Error(), "no result") {
+		t.Fatalf("missing outcome not surfaced: %+v", got["d"])
+	}
+}
+
+// TestMemoDoBatchPanic pins the poisoning contract: a panicking batch run
+// propagates, waiters joined to the flight get an error naming the panic,
+// and the affected keys are evicted so the next request recomputes.
+func TestMemoDoBatchPanic(t *testing.T) {
+	c := newMemoCache(0)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	var batchPanic any
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { batchPanic = recover() }()
+		c.doBatch([]string{"p"}, nil, func(miss []string) map[string]memoOutcome {
+			close(entered)
+			<-release
+			panic("kaboom")
+		})
+	}()
+
+	var waitVal any
+	var waitErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-entered
+		waitVal, waitErr = c.do("p", nil, func() (any, error) {
+			t.Error("waiter started a second flight")
+			return nil, nil
+		})
+	}()
+
+	// Release the panic only once the waiter has demonstrably joined the
+	// flight (the hit counter advances under the lock before it blocks on
+	// the entry), so it must be served by the poisoning path.
+	<-entered
+	for {
+		c.mu.Lock()
+		joined := c.hits == 1
+		c.mu.Unlock()
+		if joined {
+			break
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	if batchPanic == nil {
+		t.Fatal("doBatch swallowed the panic")
+	}
+
+	if waitVal != nil || waitErr == nil || !strings.Contains(waitErr.Error(), "kaboom") {
+		t.Errorf("waiter got (%v, %v), want error naming the panic", waitVal, waitErr)
+	}
+	// The entry must be gone: a fresh request recomputes.
+	ran := false
+	v, err := c.do("p", nil, func() (any, error) { ran = true; return 7, nil })
+	if !ran || err != nil || v != 7 {
+		t.Errorf("post-panic recompute: ran=%v v=%v err=%v", ran, v, err)
+	}
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"mesa/internal/accel"
+	"mesa/internal/kernels"
+)
+
+// batchTestPoints is a small heterogeneous sweep: several kernels, two
+// backend sizes, and an optimization-ablation variant, so one batch mixes
+// kernels (grouped apart), backends (same group, heterogeneous lanes), and
+// option fingerprints.
+func batchTestPoints(t *testing.T) []BatchPoint {
+	t.Helper()
+	ks := kernels.All()
+	n := 3
+	if !testing.Short() {
+		n = 6
+	}
+	if n > len(ks) {
+		n = len(ks)
+	}
+	var pts []BatchPoint
+	for _, k := range ks[:n] {
+		pts = append(pts, BatchPoint{Kernel: k, Backend: accel.M128()})
+		pts = append(pts, BatchPoint{Kernel: k, Backend: accel.M512(), CPUPerIter: 2.5})
+	}
+	pts = append(pts, BatchPoint{
+		Kernel: ks[0], Backend: accel.M128(),
+		Opts: MESAOptions{DisableLoopOpts: true, DisableOptimization: true},
+	})
+	return pts
+}
+
+// TestRunMESABatchMatchesScalar is the sweep-level identity gate: every
+// point of a batched run must equal — by deep comparison of the full
+// MESARun, report included — the scalar RunMESA result computed with the
+// cache disabled (so both sides genuinely simulate).
+func TestRunMESABatchMatchesScalar(t *testing.T) {
+	pts := batchTestPoints(t)
+
+	SetSimMemoEnabled(false)
+	scalar := make([]BatchRunResult, len(pts))
+	for i, p := range pts {
+		scalar[i].Run, scalar[i].Err = RunMESA(p.Kernel, p.Backend, p.CPUPerIter, p.Opts)
+	}
+	SetSimMemoEnabled(true)
+
+	ResetSimMemo()
+	defer ResetSimMemo()
+	batch := RunMESABatch(pts, 4)
+	if len(batch) != len(pts) {
+		t.Fatalf("got %d results for %d points", len(batch), len(pts))
+	}
+	for i, p := range pts {
+		if (batch[i].Err != nil) != (scalar[i].Err != nil) {
+			t.Errorf("point %d (%s on %s): err %v vs scalar %v",
+				i, p.Kernel.Name, p.Backend.Name, batch[i].Err, scalar[i].Err)
+			continue
+		}
+		if batch[i].Err != nil {
+			continue
+		}
+		if !reflect.DeepEqual(batch[i].Run, scalar[i].Run) {
+			t.Errorf("point %d (%s on %s): batched MESARun differs from scalar\n batch: %+v\nscalar: %+v",
+				i, p.Kernel.Name, p.Backend.Name, batch[i].Run, scalar[i].Run)
+		}
+	}
+
+	// Cache accounting must be exactly what the scalar sweep would record:
+	// one miss per distinct (kernel, backend, options) key, a hit for each
+	// duplicate lookup.
+	distinct := map[string]bool{}
+	for i := range pts {
+		p := &pts[i]
+		prog, loopStart, err := p.Kernel.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = prog
+		opts := mesaControllerOptions(p.Kernel, loopStart, p.Backend, p.Opts)
+		key, err := memoKey("mesa", p.Kernel, opts.Fingerprint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		distinct[key] = true
+	}
+	m := map[string]float64{}
+	for _, metric := range SimMemoMetrics() {
+		m[metric.Name] = metric.Value
+	}
+	if int(m["sim_cache_misses"]) != len(distinct) {
+		t.Errorf("misses = %v, want %d (one per distinct key)", m["sim_cache_misses"], len(distinct))
+	}
+	if int(m["sim_cache_hits"]) != len(pts)-len(distinct) {
+		t.Errorf("hits = %v, want %d (one per duplicate point)", m["sim_cache_hits"], len(pts)-len(distinct))
+	}
+
+	// A follow-up scalar call is served from the entries the batch populated
+	// (shared report pointer), and a duplicate point shares within the batch.
+	r0, err := RunMESA(pts[0].Kernel, pts[0].Backend, pts[0].CPUPerIter, pts[0].Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Report != batch[0].Run.Report {
+		t.Error("scalar RunMESA after the batch did not share the batch-populated cache entry")
+	}
+}
+
+// TestRunMESABatchMemoHitExclusion checks warm points never become lanes:
+// a pre-warmed point is served from cache (same shared report) and only the
+// cold points count as misses.
+func TestRunMESABatchMemoHitExclusion(t *testing.T) {
+	ResetSimMemo()
+	defer ResetSimMemo()
+	ks := kernels.All()
+	warm, err := RunMESA(ks[0], accel.M128(), 0, MESAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []BatchPoint{
+		{Kernel: ks[0], Backend: accel.M128()},
+		{Kernel: ks[0], Backend: accel.M512()},
+		{Kernel: ks[1], Backend: accel.M128()},
+	}
+	batch := RunMESABatch(pts, 4)
+	for i, r := range batch {
+		if r.Err != nil {
+			t.Fatalf("point %d: %v", i, r.Err)
+		}
+	}
+	if batch[0].Run.Report != warm.Report {
+		t.Error("warm point was re-simulated instead of served from cache")
+	}
+	m := map[string]float64{}
+	for _, metric := range SimMemoMetrics() {
+		m[metric.Name] = metric.Value
+	}
+	if m["sim_cache_misses"] != 3 { // 1 warmup + 2 cold batch lanes
+		t.Errorf("misses = %v, want 3", m["sim_cache_misses"])
+	}
+	if m["sim_cache_hits"] != 1 {
+		t.Errorf("hits = %v, want 1 (the warm point)", m["sim_cache_hits"])
+	}
+}
+
+// TestRunMESABatchScalarDegenerate pins lanes<=1 to the plain scalar path.
+func TestRunMESABatchScalarDegenerate(t *testing.T) {
+	ResetSimMemo()
+	defer ResetSimMemo()
+	ks := kernels.All()
+	pts := []BatchPoint{{Kernel: ks[0], Backend: accel.M128()}}
+	for _, lanes := range []int{0, 1} {
+		res := RunMESABatch(pts, lanes)
+		if res[0].Err != nil {
+			t.Fatalf("lanes=%d: %v", lanes, res[0].Err)
+		}
+		scalar, err := RunMESA(ks[0], accel.M128(), 0, MESAOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0].Run.Report != scalar.Report {
+			t.Errorf("lanes=%d: degenerate batch did not share the scalar cache entry", lanes)
+		}
+	}
+}

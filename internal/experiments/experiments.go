@@ -13,6 +13,7 @@ import (
 	"mesa/internal/core"
 	"mesa/internal/cpu"
 	"mesa/internal/energy"
+	"mesa/internal/isa"
 	"mesa/internal/kernels"
 	"mesa/internal/mapping"
 	"mesa/internal/mem"
@@ -145,6 +146,20 @@ func RunMESA(k *kernels.Kernel, be *accel.Config, cpuPerIter float64, o MESAOpti
 	if err != nil {
 		return nil, fmt.Errorf("%s on %s: %w", k.Name, be.Name, err)
 	}
+	opts := mesaControllerOptions(k, loopStart, be, o)
+	v, err := memoDo("mesa", k, opts.Fingerprint, func() (any, error) {
+		return runMESAUncached(k, be, prog, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return deriveMESARun(k, be, cpuPerIter, v.(*core.Report)), nil
+}
+
+// mesaControllerOptions translates a RunMESA invocation into controller
+// options. The strategy participates in opts.Fingerprint, so runs under
+// different mappers never share a memo entry.
+func mesaControllerOptions(k *kernels.Kernel, loopStart uint32, be *accel.Config, o MESAOptions) core.Options {
 	opts := core.DefaultOptions(be)
 	if k.Parallel {
 		opts.Detector.ParallelLoops = map[uint32]bool{loopStart: true}
@@ -156,36 +171,41 @@ func RunMESA(k *kernels.Kernel, be *accel.Config, cpuPerIter float64, o MESAOpti
 		opts.EnableTiling = false
 		opts.EnablePipelining = false
 	}
-	// The strategy participates in opts.Fingerprint below, so runs under
-	// different mappers never share a memo entry.
 	if o.Mapper != nil {
 		opts.Mapper = o.Mapper
 	} else {
 		opts.Mapper = MapperStrategy()
 	}
-	v, err := memoDo("mesa", k, opts.Fingerprint, func() (any, error) {
-		ctl := core.NewController(opts)
-		m := k.NewMemory(Seed)
-		hier := mem.MustHierarchy(mem.DefaultHierarchy())
-		report, _, err := ctl.Run(prog, m, hier, MaxSteps)
-		if err != nil {
-			return nil, fmt.Errorf("%s on %s: %w", k.Name, be.Name, err)
-		}
-		if err := k.Verify(m); err != nil {
-			return nil, fmt.Errorf("%s on %s: verification failed: %w", k.Name, be.Name, err)
-		}
-		return report, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	report := v.(*core.Report)
+	return opts
+}
 
+// runMESAUncached is the memoized body of RunMESA: one full controller run
+// plus result verification. The batched sweep path reuses it with
+// opts.EngineFactory pointed at a shared lockstep batch; everything else is
+// identical to the scalar path.
+func runMESAUncached(k *kernels.Kernel, be *accel.Config, prog *isa.Program, opts core.Options) (any, error) {
+	ctl := core.NewController(opts)
+	m := k.NewMemory(Seed)
+	hier := mem.MustHierarchy(mem.DefaultHierarchy())
+	report, _, err := ctl.Run(prog, m, hier, MaxSteps)
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", k.Name, be.Name, err)
+	}
+	if err := k.Verify(m); err != nil {
+		return nil, fmt.Errorf("%s on %s: verification failed: %w", k.Name, be.Name, err)
+	}
+	return report, nil
+}
+
+// deriveMESARun projects a (possibly cached) controller report onto one
+// call site's MESARun: cpuPerIter only affects this cheap derivation, never
+// the simulation.
+func deriveMESARun(k *kernels.Kernel, be *accel.Config, cpuPerIter float64, report *core.Report) *MESARun {
 	run := &MESARun{Backend: be.Name, Report: report}
 	if len(report.Regions) == 0 {
 		run.Qualified = false
 		run.TotalCycles = cpuPerIter * float64(k.N)
-		return run, nil
+		return run
 	}
 	rr := report.Regions[0]
 	run.Qualified = true
@@ -205,7 +225,7 @@ func RunMESA(k *kernels.Kernel, be *accel.Config, cpuPerIter float64, o MESAOpti
 	profNJ := profIters * cpuPerIter * energy.DefaultCPUParams().StaticWPerCore / be.ClockGHz
 	run.Breakdown.ControlNJ += cfgNJ
 	run.EnergyNJ = run.Breakdown.TotalNJ() + profNJ
-	return run, nil
+	return run
 }
 
 // geomean returns the geometric mean of the values.

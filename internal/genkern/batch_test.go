@@ -1,0 +1,131 @@
+package genkern
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"mesa/internal/accel"
+	"mesa/internal/core"
+	"mesa/internal/dfg"
+	"mesa/internal/isa"
+	"mesa/internal/mem"
+	"mesa/internal/noc"
+	"mesa/internal/sim"
+)
+
+// TestBatchVsScalarDifferential drives 200 seeded random programs through
+// the controller twice — scalar engines, then both backend shapes as lanes
+// of one shared accel.BatchRunner — and requires bit-identical final
+// architectural state and identical reports (iterations, cycles, counters)
+// between the two engine mechanisms.
+func TestBatchVsScalarDifferential(t *testing.T) {
+	seeds := int64(200)
+	if testing.Short() {
+		seeds = 30
+	}
+	configs := []EngineConfig{
+		{Name: "greedy/spatial", Strategy: "greedy", Spatial: true},
+		{Name: "greedy/timeshared", Strategy: "greedy", Spatial: false},
+	}
+
+	type outcome struct {
+		machine *sim.Machine
+		report  *core.Report
+		err     error
+	}
+	run := func(prog *generatedProg, opts core.Options) outcome {
+		ctl := core.NewController(opts)
+		report, m, err := ctl.Run(prog.prog, prog.mkMem(), mem.MustHierarchy(mem.DefaultHierarchy()), diffMaxSteps)
+		return outcome{machine: m, report: report, err: err}
+	}
+
+	accelerated := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		g, err := Generate(seed, DefaultMix())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		gp := &generatedProg{prog: g.Prog, mkMem: g.NewMemory}
+
+		scalar := make([]outcome, len(configs))
+		for i, ec := range configs {
+			opts, err := ec.options()
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			scalar[i] = run(gp, opts)
+		}
+
+		batched := make([]outcome, len(configs))
+		r := accel.NewBatchRunner(len(configs))
+		var wg sync.WaitGroup
+		for i, ec := range configs {
+			opts, err := ec.options()
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			wg.Add(1)
+			go func(i int, opts core.Options) {
+				defer wg.Done()
+				h := r.Lane(i)
+				defer h.Finish()
+				opts.EngineFactory = func(cfg *accel.Config, g *dfg.Graph, pos []noc.Coord, loopBranch dfg.NodeID, m *mem.Memory, hier *mem.Hierarchy) (core.LoopEngine, error) {
+					eng, err := h.Engine(cfg, g, pos, loopBranch, m, hier)
+					if err != nil {
+						return nil, err
+					}
+					return eng, nil
+				}
+				batched[i] = run(gp, opts)
+			}(i, opts)
+		}
+		wg.Wait()
+
+		for i, ec := range configs {
+			s, b := scalar[i], batched[i]
+			if (s.err != nil) != (b.err != nil) {
+				t.Fatalf("seed %d %s: scalar err %v, batched err %v\nprogram:\n%s",
+					seed, ec.Name, s.err, b.err, g.Dump())
+			}
+			if s.err != nil {
+				continue
+			}
+			if detail := diffState(s.machine, b.machine); detail != "" {
+				t.Fatalf("seed %d %s: batched state diverged from scalar: %s\nprogram:\n%s",
+					seed, ec.Name, detail, g.Dump())
+			}
+			if s.report.AccelIterations != b.report.AccelIterations ||
+				s.report.CPURetired != b.report.CPURetired ||
+				len(s.report.Regions) != len(b.report.Regions) {
+				t.Fatalf("seed %d %s: report shape differs (iters %d/%d, retired %d/%d, regions %d/%d)\nprogram:\n%s",
+					seed, ec.Name, s.report.AccelIterations, b.report.AccelIterations,
+					s.report.CPURetired, b.report.CPURetired,
+					len(s.report.Regions), len(b.report.Regions), g.Dump())
+			}
+			for j := range s.report.Regions {
+				p, q := s.report.Regions[j], b.report.Regions[j]
+				if p.TotalCycles() != q.TotalCycles() || p.FinalII != q.FinalII || p.Bound != q.Bound {
+					t.Fatalf("seed %d %s region %d: batched %.3f cyc II %.3f (%s), scalar %.3f cyc II %.3f (%s)\nprogram:\n%s",
+						seed, ec.Name, j, q.TotalCycles(), q.FinalII, q.Bound,
+						p.TotalCycles(), p.FinalII, p.Bound, g.Dump())
+				}
+				if !reflect.DeepEqual(p.Counters, q.Counters) {
+					t.Fatalf("seed %d %s region %d: counters differ\nprogram:\n%s", seed, ec.Name, j, g.Dump())
+				}
+			}
+			if s.report.AccelIterations > 0 && i == 0 {
+				accelerated++
+			}
+		}
+	}
+	if accelerated < int(seeds)/2 {
+		t.Errorf("only %d/%d seeds accelerated; differential degenerated to CPU-only runs", accelerated, seeds)
+	}
+}
+
+// generatedProg bundles a program with its memory factory for the runs.
+type generatedProg struct {
+	prog  *isa.Program
+	mkMem func() *mem.Memory
+}

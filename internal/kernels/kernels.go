@@ -55,6 +55,14 @@ type Kernel struct {
 
 	// verify checks outputs for iterations [lo, hi).
 	verify func(m *mem.Memory, lo, hi int) error
+
+	// mu serializes setup and verify: several kernels carry expected outputs
+	// from setup to verify in closure-captured state (e.g. backprop's weight
+	// vector), and concurrent simulations of one kernel instance — batch
+	// lanes, parallel sweep points — call NewMemory simultaneously. The
+	// state is a pure function of the seed, so serializing keeps every
+	// same-seed caller's view identical.
+	mu sync.Mutex
 }
 
 // progKey identifies one memoized build: kernel plus iteration subrange
@@ -129,15 +137,25 @@ func (k *Kernel) MustChunkProgram(chunk, chunks int) (*isa.Program, uint32) {
 // NewMemory returns a freshly initialized memory for the kernel.
 func (k *Kernel) NewMemory(seed int64) *mem.Memory {
 	m := mem.NewMemory()
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	k.setup(m, rand.New(rand.NewSource(seed)))
 	return m
 }
 
 // Verify checks the kernel's output for the full range.
-func (k *Kernel) Verify(m *mem.Memory) error { return k.verify(m, 0, k.N) }
+func (k *Kernel) Verify(m *mem.Memory) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.verify(m, 0, k.N)
+}
 
 // VerifyRange checks outputs for iterations [lo, hi).
-func (k *Kernel) VerifyRange(m *mem.Memory, lo, hi int) error { return k.verify(m, lo, hi) }
+func (k *Kernel) VerifyRange(m *mem.Memory, lo, hi int) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.verify(m, lo, hi)
+}
 
 // All returns every kernel in the suite, in the order the figures report
 // them.

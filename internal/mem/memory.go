@@ -4,6 +4,7 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -16,8 +17,16 @@ const pageSize = 1 << pageBits
 
 // Memory is a sparse little-endian byte-addressable memory. The zero value
 // is not usable; call NewMemory.
+//
+// Memory is not safe for concurrent use: even loads update the one-entry
+// page cache. Every simulation owns its memory exclusively.
 type Memory struct {
 	pages map[uint32]*[pageSize]byte
+	// One-entry page cache: kernels access memory with high spatial
+	// locality, so nearly every access lands on the previous access's page.
+	// Pages are never removed, so the cache needs no invalidation.
+	lastPN   uint32
+	lastPage *[pageSize]byte
 }
 
 // NewMemory returns an empty memory. All bytes read as zero until written.
@@ -27,10 +36,16 @@ func NewMemory() *Memory {
 
 func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
 	pn := addr >> pageBits
+	if p := m.lastPage; p != nil && pn == m.lastPN {
+		return p
+	}
 	p := m.pages[pn]
 	if p == nil && create {
 		p = new([pageSize]byte)
 		m.pages[pn] = p
+	}
+	if p != nil {
+		m.lastPN, m.lastPage = pn, p
 	}
 	return p
 }
@@ -49,14 +64,26 @@ func (m *Memory) StoreByte(addr uint32, v byte) {
 	m.page(addr, true)[addr&(pageSize-1)] = v
 }
 
-// LoadWord reads a 32-bit little-endian word.
+// LoadWord reads a 32-bit little-endian word. Words that stay within one
+// page — every aligned access — take a single page lookup.
 func (m *Memory) LoadWord(addr uint32) uint32 {
+	if off := addr & (pageSize - 1); off <= pageSize-4 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint32(p[off:])
+	}
 	return uint32(m.LoadByte(addr)) | uint32(m.LoadByte(addr+1))<<8 |
 		uint32(m.LoadByte(addr+2))<<16 | uint32(m.LoadByte(addr+3))<<24
 }
 
 // StoreWord writes a 32-bit little-endian word.
 func (m *Memory) StoreWord(addr uint32, v uint32) {
+	if off := addr & (pageSize - 1); off <= pageSize-4 {
+		binary.LittleEndian.PutUint32(m.page(addr, true)[off:], v)
+		return
+	}
 	m.StoreByte(addr, byte(v))
 	m.StoreByte(addr+1, byte(v>>8))
 	m.StoreByte(addr+2, byte(v>>16))
@@ -65,11 +92,22 @@ func (m *Memory) StoreWord(addr uint32, v uint32) {
 
 // LoadHalf reads a 16-bit little-endian halfword.
 func (m *Memory) LoadHalf(addr uint32) uint16 {
+	if off := addr & (pageSize - 1); off <= pageSize-2 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint16(p[off:])
+	}
 	return uint16(m.LoadByte(addr)) | uint16(m.LoadByte(addr+1))<<8
 }
 
 // StoreHalf writes a 16-bit little-endian halfword.
 func (m *Memory) StoreHalf(addr uint32, v uint16) {
+	if off := addr & (pageSize - 1); off <= pageSize-2 {
+		binary.LittleEndian.PutUint16(m.page(addr, true)[off:], v)
+		return
+	}
 	m.StoreByte(addr, byte(v))
 	m.StoreByte(addr+1, byte(v>>8))
 }

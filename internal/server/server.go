@@ -163,6 +163,8 @@ type Server struct {
 	draining   atomic.Bool
 
 	requests         atomic.Uint64
+	batchRequests    atomic.Uint64
+	batchItems       atomic.Uint64
 	admitted         atomic.Uint64
 	rejectedBusy     atomic.Uint64
 	rejectedDraining atomic.Uint64
@@ -200,6 +202,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("/v1/simulate/batch", s.handleSimulateBatch)
 	s.mux.HandleFunc("/v1/kernels", s.handleKernels)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -308,6 +311,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	reg := obs.NewRegistry()
 	reg.Add("server",
 		obs.Count("requests", s.requests.Load()),
+		obs.Count("batch_requests", s.batchRequests.Load()),
+		obs.Count("batch_items", s.batchItems.Load()),
 		obs.Count("admitted", s.admitted.Load()),
 		obs.Count("rejected_busy", s.rejectedBusy.Load()),
 		obs.Count("rejected_draining", s.rejectedDraining.Load()),
