@@ -12,6 +12,8 @@
 #   make bench-json  # write the current performance snapshot to BENCH.json
 #   make bench-check # regression-gate the snapshot against BENCH_baseline.json
 #   make bench-attrib# write the suite-wide bottleneck attribution to ATTRIB.json
+#   make bench-mappers # run the mapper-strategy ablation (greedy/anneal/
+#                    # congestion/modulo/auto) and write MAPPERS.json
 #
 # When a PR intentionally changes performance, refresh the committed
 # baseline with `make bench-baseline` and include the diff in the PR.
@@ -21,9 +23,9 @@ BENCH_TOL ?= 0.02
 # Pinned so every machine lints with the same rule set; bump deliberately.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: ci build vet lint test test-race fuzz-smoke mesad-smoke bench bench-batch bench-json bench-check bench-baseline bench-attrib
+.PHONY: ci build vet lint test test-race fuzz-smoke mesad-smoke bench bench-batch bench-json bench-check bench-baseline bench-attrib bench-mappers
 
-ci: vet lint test test-race fuzz-smoke mesad-smoke bench-check
+ci: vet lint test test-race fuzz-smoke mesad-smoke bench-check bench-mappers
 
 # Prefer a staticcheck already on PATH (matching any version is better than
 # nothing), else fetch the pinned version via `go run`. Offline sandboxes
@@ -95,3 +97,9 @@ bench-baseline:
 
 bench-attrib:
 	$(GO) run ./cmd/mesabench -json attrib > ATTRIB.json
+
+# The extended mapper-strategy ablation (greedy seed, annealing, congestion,
+# modulo scheduling, attribution-driven auto selection) as structured JSON.
+# MAPPERS.json is a CI artifact; the rendered table is in `mesabench mappers`.
+bench-mappers:
+	$(GO) run ./cmd/mesabench -json mappers > MAPPERS.json

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mesa/internal/mapping"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files with the current output")
@@ -23,6 +25,8 @@ func TestRunGolden(t *testing.T) {
 		{"nn_greedy", "nn", "M-128", "greedy"},
 		{"nn_anneal", "nn", "M-128", "greedy+anneal"},
 		{"nn_congestion", "nn", "M-128", "congestion"},
+		{"nn_modulo", "nn", "M-128", "modulo"},
+		{"nn_auto", "nn", "M-128", "auto"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.file, func(t *testing.T) {
@@ -57,16 +61,18 @@ func TestRunGolden(t *testing.T) {
 }
 
 // TestRunUnknownMapper pins the -mapper error message: it names the bad
-// strategy and lists the registered ones.
+// strategy and lists every registered one — the list comes from the
+// registry, so new strategies appear without touching this test.
 func TestRunUnknownMapper(t *testing.T) {
 	err := run(&bytes.Buffer{}, "nn", "M-128", "bogus", false)
 	if err == nil {
 		t.Fatal("unknown -mapper: no error")
 	}
 	msg := err.Error()
-	for _, want := range []string{`unknown strategy "bogus"`, "congestion", "greedy", "greedy+anneal"} {
-		if !strings.Contains(msg, want) {
-			t.Errorf("error %q missing %q", msg, want)
+	want := append([]string{`unknown strategy "bogus"`}, mapping.Names()...)
+	for _, w := range want {
+		if !strings.Contains(msg, w) {
+			t.Errorf("error %q missing %q", msg, w)
 		}
 	}
 }
@@ -79,9 +85,9 @@ func TestRunUnknownBackend(t *testing.T) {
 	}
 }
 
-// TestRunDot keeps the DOT path working under every strategy.
+// TestRunDot keeps the DOT path working under every registered strategy.
 func TestRunDot(t *testing.T) {
-	for _, mapper := range []string{"greedy", "greedy+anneal", "congestion"} {
+	for _, mapper := range mapping.Names() {
 		var buf bytes.Buffer
 		if err := run(&buf, "nn", "M-128", mapper, true); err != nil {
 			t.Fatal(err)

@@ -13,6 +13,7 @@ import (
 	"mesa/internal/dfg"
 	"mesa/internal/isa"
 	"mesa/internal/noc"
+	"mesa/internal/sched"
 )
 
 // Config describes the CGRA target: a homogeneous 2D array of PEs connected
@@ -73,42 +74,13 @@ func ModuloSchedule(g *dfg.Graph, cfg Config) (*Schedule, error) {
 		return nil, fmt.Errorf("opencgra: empty graph")
 	}
 
-	// Resource-constrained lower bound.
-	memOps := 0
-	for i := range g.Nodes {
-		if g.Nodes[i].Inst.IsMem() && !g.Nodes[i].Fwd {
-			memOps++
-		}
-	}
-	resMII := (nOps + nPE - 1) / nPE
-	if m := (memOps + cfg.MemUnits - 1) / cfg.MemUnits; m > resMII {
-		resMII = m
-	}
-
-	// Recurrence-constrained lower bound: a live-out register consumed as a
-	// live-in closes an inter-iteration cycle through its producing node.
-	recMII := 1
-	liveInRegs := make(map[isa.Reg]bool)
-	for i := range g.Nodes {
-		n := &g.Nodes[i]
-		for k := 0; k < 3; k++ {
-			if n.Src[k] == dfg.None && n.LiveIn[k] != isa.RegNone {
-				liveInRegs[n.LiveIn[k]] = true
-			}
-		}
-	}
-	for r, id := range g.LiveOut {
-		if liveInRegs[r] {
-			if l := int(cfg.latOf(g.Node(id))) + 1; l > recMII {
-				recMII = l
-			}
-		}
-	}
-
-	mii := resMII
-	if recMII > mii {
-		mii = recMII
-	}
+	// Lower bounds from the shared machinery (internal/sched): resource
+	// (PEs + memory interfaces) and recurrence (live-out registers consumed
+	// as live-ins). This baseline predates predicated offload, so predicate
+	// live-ins are not recurrence consumers here.
+	mii := sched.MinII(
+		sched.ResMII(nOps, nPE, sched.MemOps(g), cfg.MemUnits),
+		sched.RecMII(g, cfg.latOf, false))
 
 	for ii := mii; ii <= cfg.MaxII; ii++ {
 		if s, ok := trySchedule(g, cfg, ii); ok {
@@ -125,12 +97,10 @@ func ModuloSchedule(g *dfg.Graph, cfg Config) (*Schedule, error) {
 // program order with a modulo reservation table over (PE, slot).
 func trySchedule(g *dfg.Graph, cfg Config, ii int) (*Schedule, bool) {
 	nPE := cfg.Rows * cfg.Cols
-	// mrt[pe][slot] marks PE occupancy per modulo slot.
-	mrt := make([][]bool, nPE)
-	for i := range mrt {
-		mrt[i] = make([]bool, ii)
-	}
-	memBusy := make([]int, ii) // memory interfaces used per slot
+	// Modulo reservation table over (PE, slot) plus the counted budget of
+	// memory interfaces per slot.
+	mrt := sched.NewTable(nPE, ii)
+	memBusy := sched.NewBudget(ii, cfg.MemUnits)
 
 	start := make([]float64, g.Len())
 	pePos := make([]noc.Coord, g.Len())
@@ -141,7 +111,7 @@ func trySchedule(g *dfg.Graph, cfg Config, ii int) (*Schedule, bool) {
 
 	for i := range g.Nodes {
 		n := &g.Nodes[i]
-		isMem := n.Inst.IsMem() && !n.Fwd
+		isMem := sched.IsMemOp(n)
 		// Earliest start: parents' finish plus one-hop transfer (the
 		// scheduler routes through the mesh; we charge distance at
 		// placement below and a minimum single-cycle hop here).
@@ -159,12 +129,12 @@ func trySchedule(g *dfg.Graph, cfg Config, ii int) (*Schedule, bool) {
 		// Search slots from est upward (bounded pass), and PEs by index.
 		for dt := 0; dt < 4*ii && !placed; dt++ {
 			tm := int(est) + dt
-			slot := tm % ii
-			if isMem && memBusy[slot] >= cfg.MemUnits {
+			slot := mrt.Slot(tm)
+			if isMem && !memBusy.Free(slot) {
 				continue
 			}
 			for pe := 0; pe < nPE; pe++ {
-				if mrt[pe][slot] {
+				if mrt.Busy(pe, slot) {
 					continue
 				}
 				pos := noc.Coord{Row: pe / cfg.Cols, Col: pe % cfg.Cols}
@@ -184,9 +154,9 @@ func trySchedule(g *dfg.Graph, cfg Config, ii int) (*Schedule, bool) {
 				if !ok {
 					continue
 				}
-				mrt[pe][slot] = true
+				mrt.Reserve(pe, slot)
 				if isMem {
-					memBusy[slot]++
+					memBusy.Take(slot)
 				}
 				start[i] = float64(tm)
 				pePos[i] = pos

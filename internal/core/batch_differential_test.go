@@ -33,15 +33,15 @@ type batchDiffOutcome struct {
 }
 
 // TestBatchEngineDifferential is the controller-level lockstep gate: every
-// suite kernel, under each placement strategy, runs its spatial M-128 and
-// 4x4 time-shared configurations both on scalar engines and as lanes of one
-// shared accel.BatchRunner. The batched reports must match the scalar ones
-// on every observable — cycles, counters, attribution, activity, registers,
-// and final memory.
+// suite kernel, under every registered placement strategy, runs its spatial
+// M-128 and 4x4 time-shared configurations both on scalar engines and as
+// lanes of one shared accel.BatchRunner. The batched reports must match the
+// scalar ones on every observable — cycles, counters, attribution, activity,
+// registers, and final memory.
 func TestBatchEngineDifferential(t *testing.T) {
-	strategies := []string{"greedy", "greedy+anneal", "congestion"}
+	strategies := mapping.Names()
 	if testing.Short() {
-		strategies = strategies[:1]
+		strategies = []string{"greedy"}
 	}
 
 	for _, sname := range strategies {

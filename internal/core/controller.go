@@ -9,6 +9,7 @@ import (
 	"mesa/internal/mapping"
 	"mesa/internal/mem"
 	"mesa/internal/obs"
+	"mesa/internal/sched"
 	"mesa/internal/sim"
 )
 
@@ -215,12 +216,15 @@ func NewController(opts Options) *Controller {
 
 // mapRegion invokes the configured strategy with the controller's static
 // mapper options plus the per-call context: the tile count the placement
-// will run under and, on re-optimization rounds, the measured bottleneck
-// attribution that feedback-driven strategies bias on.
-func (c *Controller) mapRegion(ldfg *LDFG, tiles int, attrib *accel.Attribution) (*SDFG, *MapStats, error) {
+// will run under, on re-optimization rounds the measured bottleneck
+// attribution that feedback-driven strategies bias on, and — for the auto
+// meta-strategy — the delegate this region already escalated to, so the
+// per-region decision is sticky across rounds.
+func (c *Controller) mapRegion(ldfg *LDFG, tiles int, attrib *accel.Attribution, sticky string) (*SDFG, *MapStats, error) {
 	mo := c.opts.MapperOpts
 	mo.Tiles = tiles
 	mo.Attrib = attrib
+	mo.Sticky = sticky
 	sdfg, stats, err := c.opts.Mapper.Map(ldfg, c.opts.Backend, mo)
 	if err != nil {
 		return nil, nil, err
@@ -252,6 +256,12 @@ type configuredRegion struct {
 	stats  *MapStats
 	tiles  int
 	report *RegionReport
+
+	// delegate is the strategy the auto meta-strategy chose for this
+	// region (empty until a remap round decides, and always empty for
+	// concrete strategies). Threaded back through Options.Sticky so the
+	// escalation decision holds for the region's remaining rounds.
+	delegate string
 }
 
 // Run executes prog on a monitored machine, transparently offloading
@@ -355,7 +365,7 @@ func (c *Controller) configure(region *Region, report *Report, regs *[isa.NumReg
 	if err != nil {
 		return nil, err
 	}
-	sdfg, stats, err := c.mapRegion(ldfg, 1, nil)
+	sdfg, stats, err := c.mapRegion(ldfg, 1, nil, "")
 	if err != nil {
 		return nil, err
 	}
@@ -383,7 +393,8 @@ func (c *Controller) configure(region *Region, report *Report, regs *[isa.NumReg
 	rr.OverheadCycles = float64(rr.ConfigCost.Total())
 	c.cache.Insert(region.Start, sdfg, ldfg, tiles)
 	report.Regions = append(report.Regions, rr)
-	return &configuredRegion{region: region, ldfg: ldfg, sdfg: sdfg, stats: stats, tiles: tiles, report: rr}, nil
+	return &configuredRegion{region: region, ldfg: ldfg, sdfg: sdfg, stats: stats,
+		tiles: tiles, report: rr, delegate: stats.Delegate}, nil
 }
 
 // chooseTiles picks the spatial duplication factor for a parallel loop:
@@ -444,27 +455,7 @@ func (c *Controller) chooseTiles(region *Region, ldfg *LDFG, stats *MapStats, ho
 // recurrenceMII returns the loop-carried recurrence bound: the largest
 // weight of a node whose output register feeds the next iteration.
 func recurrenceMII(g *dfg.Graph) float64 {
-	liveIn := make(map[isa.Reg]bool)
-	for i := range g.Nodes {
-		n := &g.Nodes[i]
-		for k := 0; k < 3; k++ {
-			if n.Src[k] == dfg.None && n.LiveIn[k] != isa.RegNone {
-				liveIn[n.LiveIn[k]] = true
-			}
-		}
-		if n.PredLiveIn != isa.RegNone {
-			liveIn[n.PredLiveIn] = true
-		}
-	}
-	rec := 1.0
-	for r, id := range g.LiveOut {
-		if liveIn[r] {
-			if l := g.Node(id).OpLat + 1; l > rec {
-				rec = l
-			}
-		}
-	}
-	return rec
+	return sched.RecMII(g, func(n *dfg.Node) float64 { return n.OpLat }, true)
 }
 
 // offload transfers control to the accelerator for one full loop execution,
@@ -577,9 +568,16 @@ func (c *Controller) offload(cr *configuredRegion, machine *sim.Machine, hier *m
 			g.ClearMeasurements() // candidate placements use interconnect estimates
 			// The measured attribution flows into the remap: feedback-driven
 			// strategies (congestion) re-place away from the hot resources
-			// it names, closing the measure → re-optimize loop.
-			newSDFG, newStats, mapErr := c.mapRegion(cr.ldfg, cr.tiles, res.Attrib)
+			// it names, and the auto meta-strategy selects its delegate from
+			// it, closing the measure → re-optimize loop.
+			newSDFG, newStats, mapErr := c.mapRegion(cr.ldfg, cr.tiles, res.Attrib, cr.delegate)
 			if mapErr == nil {
+				if newStats.Delegate != "" {
+					// Sticky per-region decision: once auto escalates,
+					// later rounds keep the delegate instead of chasing
+					// the shifted bottleneck of the new placement.
+					cr.delegate = newStats.Delegate
+				}
 				predicted := newSDFG.Evaluate().Total
 				roundRep.Predicted = predicted
 				// For pipelined/tiled loops throughput (the initiation

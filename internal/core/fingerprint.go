@@ -32,8 +32,10 @@ func (o *Options) Fingerprint(w io.Writer) {
 	}
 	// The strategy name keys the placement algorithm itself, so cached
 	// results from one strategy are never served for another. MapperOpts
-	// .Attrib is deliberately excluded: it is per-call feedback the
-	// controller fills during a run, never part of the static options.
+	// .Attrib and .Sticky are deliberately excluded: both are per-call
+	// mechanism state the controller fills during a run (measured feedback
+	// and the auto meta-strategy's per-region delegate), never part of the
+	// static options.
 	name := "greedy"
 	if o.Mapper != nil {
 		name = o.Mapper.Name()

@@ -157,4 +157,10 @@ func TestFingerprintExcludesMechanismKnobs(t *testing.T) {
 	if fingerprintOf(t, &fedback) != want {
 		t.Error("MapperOpts.Attrib perturbs the fingerprint")
 	}
+
+	sticky := base
+	sticky.MapperOpts.Sticky = "modulo"
+	if fingerprintOf(t, &sticky) != want {
+		t.Error("MapperOpts.Sticky perturbs the fingerprint; it is per-call mechanism state like Attrib")
+	}
 }

@@ -29,6 +29,10 @@ func (r *Report) AddMetrics(reg *obs.Registry) {
 	var overhead float64
 	var reconfigs, tiles int
 	mapper := map[string]*MapStats{}
+	// delegates counts, per meta-strategy, which concrete strategy each
+	// region's final placement delegated to (the auto selection policy's
+	// observable output).
+	delegates := map[string]map[string]int{}
 	for _, rr := range r.Regions {
 		counters.AddScalars(rr.Counters)
 		activity = addActivity(activity, rr.Activity)
@@ -54,6 +58,12 @@ func (r *Report) AddMetrics(reg *obs.Registry) {
 			agg.ReductionCycles += st.ReductionCycles
 			agg.RefineSteps += st.RefineSteps
 			agg.RefineAccepted += st.RefineAccepted
+			if st.Delegate != "" {
+				if delegates[name] == nil {
+					delegates[name] = map[string]int{}
+				}
+				delegates[name][st.Delegate]++
+			}
 		}
 	}
 	reg.Add("regions",
@@ -68,7 +78,7 @@ func (r *Report) AddMetrics(reg *obs.Registry) {
 	sort.Strings(names)
 	for _, name := range names {
 		st := mapper[name]
-		reg.Add("mapper."+name,
+		ms := []obs.Metric{
 			obs.M("nodes", float64(st.Nodes)),
 			obs.M("pe_placements", float64(st.PEPlacements)),
 			obs.M("lsu_placements", float64(st.LSUPlacements)),
@@ -78,7 +88,18 @@ func (r *Report) AddMetrics(reg *obs.Registry) {
 			obs.M("reduction_cycles", float64(st.ReductionCycles)),
 			obs.M("refine_steps", float64(st.RefineSteps)),
 			obs.M("refine_accepted", float64(st.RefineAccepted)),
-		)
+		}
+		if del := delegates[name]; len(del) > 0 {
+			dn := make([]string, 0, len(del))
+			for d := range del {
+				dn = append(dn, d)
+			}
+			sort.Strings(dn)
+			for _, d := range dn {
+				ms = append(ms, obs.M("selected_"+d, float64(del[d])))
+			}
+		}
+		reg.Add("mapper."+name, ms...)
 	}
 	reg.Add("accel.counters", counters.Metrics()...)
 	reg.Add("accel.activity", activity.Metrics()...)

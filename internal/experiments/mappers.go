@@ -44,9 +44,18 @@ func MapperStrategy() mapping.Strategy {
 const mapperMeasureIters = 512
 
 // mapperAblationOrder fixes the strategy order of the ablation rows: the
-// greedy seed first (the two refinement strategies are compared against it),
-// then annealing, then attribution-fed congestion-aware re-placement.
-var mapperAblationOrder = []string{"greedy", "greedy+anneal", "congestion"}
+// greedy seed first (every other strategy is compared against it), then
+// annealing, attribution-fed congestion-aware re-placement, the modulo
+// scheduler, and the attribution-driven auto selector. The registry-
+// exhaustiveness test pins this list equal to mapping.Names(), so a new
+// strategy cannot register without joining the ablation.
+var mapperAblationOrder = []string{"greedy", "greedy+anneal", "congestion", "modulo", "auto"}
+
+// MapperAblationStrategies returns the strategies the mappers ablation
+// compares, in row order (exposed for the registry-exhaustiveness test).
+func MapperAblationStrategies() []string {
+	return append([]string(nil), mapperAblationOrder...)
+}
 
 // MapperTag returns the metric-safe short tag for a strategy name
 // ("greedy+anneal" contains '+', which stays out of metric keys).
@@ -67,6 +76,15 @@ type MapperCell struct {
 	MeasuredIter   float64 // measured cycles/iteration on the engine
 	BusFallbacks   int
 	RefineAccepted int
+
+	// Delegate is the strategy auto selected from the measured attribution
+	// (empty for concrete strategies).
+	Delegate string
+	// Reverted marks an auto cell whose delegated placement measured worse
+	// than the greedy seed: the ablation applies the controller's
+	// revert-on-regression rule (with zero tolerance) and reports the
+	// greedy numbers the controller would have rolled back to.
+	Reverted bool
 }
 
 // MappersRow compares every registered strategy on one kernel's hot loop.
@@ -83,11 +101,13 @@ type MappersResult struct {
 	ImprovedKernels int
 }
 
-// Mappers runs every kernel's hot loop through all three placement
-// strategies on M-128 and measures each placement on the accelerator
-// engine. The congestion strategy receives the attribution counters
-// measured on the greedy placement — the same measure→re-optimize feedback
-// the controller applies during iterative optimization.
+// Mappers runs every kernel's hot loop through every registered placement
+// strategy on M-128 and measures each placement on the accelerator
+// engine. The congestion and auto strategies receive the attribution
+// counters measured on the greedy placement — the same measure→re-optimize
+// feedback the controller applies during iterative optimization — and the
+// auto cell additionally applies the controller's revert-on-regression
+// rule, so its reported numbers are never worse than the greedy seed.
 func Mappers() (*MappersResult, error) {
 	ks := kernels.All()
 	rows, err := runAll(len(ks), func(i int) (MappersRow, error) {
@@ -171,9 +191,10 @@ func mappersRowUncached(k *kernels.Kernel) (MappersRow, error) {
 			return MappersRow{}, err
 		}
 		o := core.DefaultMapperOptions()
-		if name == "congestion" {
+		if name == "congestion" || name == "auto" {
 			// Feed the attribution measured on the greedy placement — this
-			// is what distinguishes the strategy from its greedy fallback.
+			// is what distinguishes these strategies from their greedy
+			// fallback.
 			o.Attrib = greedyAttrib
 		}
 		s, stats, err := strat.Map(l, be, o)
@@ -190,14 +211,30 @@ func mappersRowUncached(k *kernels.Kernel) (MappersRow, error) {
 		if name == mapperAblationOrder[0] {
 			greedyAttrib = attrib
 		}
-		row.Cells = append(row.Cells, MapperCell{
+		cell := MapperCell{
 			Strategy:       name,
 			PredictedII:    s.PredictedII(1),
 			ModeledIter:    s.Evaluate().Total,
 			MeasuredIter:   avg,
 			BusFallbacks:   stats.BusFallbacks,
 			RefineAccepted: stats.RefineAccepted,
-		})
+			Delegate:       stats.Delegate,
+		}
+		if name == "auto" {
+			// The controller adopts an auto remap only if it predicts an
+			// improvement and rolls it back if it measures worse; mirror
+			// that guard so the ablation reports what a controller run
+			// would actually keep.
+			if g := row.Cells[0]; avg > g.MeasuredIter+1e-9 {
+				cell.PredictedII = g.PredictedII
+				cell.ModeledIter = g.ModeledIter
+				cell.MeasuredIter = g.MeasuredIter
+				cell.BusFallbacks = g.BusFallbacks
+				cell.RefineAccepted = g.RefineAccepted
+				cell.Reverted = true
+			}
+		}
+		row.Cells = append(row.Cells, cell)
 	}
 	row.OK = true
 
@@ -219,8 +256,9 @@ func (r *MappersResult) Render() string {
 	var b strings.Builder
 	b.WriteString("Mapper strategy ablation: greedy seed vs refinement (M-128, serial, " )
 	fmt.Fprintf(&b, "%d measured iterations)\n", mapperMeasureIters)
-	b.WriteString("congestion re-places with the attribution counters measured on the greedy placement\n")
-	fmt.Fprintf(&b, "%-12s %-14s %8s %11s %13s %5s %9s\n",
+	b.WriteString("congestion and auto re-place with the attribution counters measured on the greedy placement;\n")
+	b.WriteString("auto:<delegate> names the selected strategy, (rev) a delegation reverted for measuring worse\n")
+	fmt.Fprintf(&b, "%-12s %-20s %8s %11s %13s %5s %9s\n",
 		"kernel", "strategy", "pred II", "model c/i", "measured c/i", "bus", "accepted")
 	for _, row := range r.Rows {
 		if !row.OK {
@@ -236,8 +274,15 @@ func (r *MappersResult) Render() string {
 			if i > 0 {
 				label = ""
 			}
-			fmt.Fprintf(&b, "%-12s %-14s %8.2f %11.1f %13.2f %5d %9d\n",
-				label, c.Strategy, c.PredictedII, c.ModeledIter, c.MeasuredIter,
+			strat := c.Strategy
+			if c.Delegate != "" {
+				strat += ":" + c.Delegate
+			}
+			if c.Reverted {
+				strat += "(rev)"
+			}
+			fmt.Fprintf(&b, "%-12s %-20s %8.2f %11.1f %13.2f %5d %9d\n",
+				label, strat, c.PredictedII, c.ModeledIter, c.MeasuredIter,
 				c.BusFallbacks, c.RefineAccepted)
 		}
 	}

@@ -26,8 +26,8 @@ func TestMappersAblationImproves(t *testing.T) {
 		if !row.OK {
 			continue
 		}
-		if len(row.Cells) != 3 {
-			t.Fatalf("%s: %d strategy cells, want 3", row.Kernel, len(row.Cells))
+		if len(row.Cells) != len(mapperAblationOrder) {
+			t.Fatalf("%s: %d strategy cells, want %d", row.Kernel, len(row.Cells), len(mapperAblationOrder))
 		}
 		for _, c := range row.Cells {
 			if c.PredictedII <= 0 || c.MeasuredIter <= 0 {
@@ -41,6 +41,47 @@ func TestMappersAblationImproves(t *testing.T) {
 	}
 	if !strings.Contains(r.Render(), "greedy+anneal") {
 		t.Error("rendered table does not show the greedy+anneal column")
+	}
+}
+
+// TestAutoNeverWorseThanGreedy is the acceptance criterion of the auto
+// meta-strategy: with the controller's revert-on-regression rule applied,
+// its measured cycles/iteration never exceed the greedy seed's on any
+// kernel in the suite.
+func TestAutoNeverWorseThanGreedy(t *testing.T) {
+	r, err := Mappers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-9
+	checked := 0
+	for _, row := range r.Rows {
+		if !row.OK {
+			continue
+		}
+		var greedy, auto *MapperCell
+		for i := range row.Cells {
+			switch row.Cells[i].Strategy {
+			case "greedy":
+				greedy = &row.Cells[i]
+			case "auto":
+				auto = &row.Cells[i]
+			}
+		}
+		if greedy == nil || auto == nil {
+			t.Fatalf("%s: ablation row lacks a greedy or auto cell", row.Kernel)
+		}
+		if auto.MeasuredIter > greedy.MeasuredIter+eps {
+			t.Errorf("%s: auto measured %.3f cycles/iter, greedy %.3f — auto must never be worse",
+				row.Kernel, auto.MeasuredIter, greedy.MeasuredIter)
+		}
+		if auto.Delegate == "" {
+			t.Errorf("%s: auto cell has no delegate", row.Kernel)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no kernel rows to check")
 	}
 }
 
@@ -109,6 +150,35 @@ func TestMapperStrategyMemoDifferential(t *testing.T) {
 	}
 }
 
+// TestMapperAblationCoversRegistry is the registry-exhaustiveness gate,
+// two-directional: every registered strategy appears in the mappers
+// ablation (registering a strategy without ablation coverage fails), and
+// the ablation names only registered strategies (a stale entry after a
+// rename fails too). The genkern differential and the strategy determinism
+// property test enumerate mapping.Names() directly, so this single check
+// keeps all three surfaces exhaustive.
+func TestMapperAblationCoversRegistry(t *testing.T) {
+	registered := map[string]bool{}
+	for _, name := range mapping.Names() {
+		registered[name] = true
+	}
+	ablated := map[string]bool{}
+	for _, name := range MapperAblationStrategies() {
+		if !registered[name] {
+			t.Errorf("ablation strategy %q is not in the mapping registry", name)
+		}
+		if ablated[name] {
+			t.Errorf("ablation lists strategy %q twice", name)
+		}
+		ablated[name] = true
+	}
+	for name := range registered {
+		if !ablated[name] {
+			t.Errorf("registered strategy %q is missing from the mappers ablation", name)
+		}
+	}
+}
+
 // TestSetMapperStrategy pins the suite-wide default override used by the
 // -mapper flags.
 func TestSetMapperStrategy(t *testing.T) {
@@ -170,5 +240,54 @@ func TestMapperMetricsPerStrategy(t *testing.T) {
 	}
 	if nodes == 0 {
 		t.Error("mapper.greedy+anneal nodes metric is zero")
+	}
+}
+
+// TestMapperAutoMetrics: a controller run under the auto meta-strategy
+// reports which concrete strategy each placement delegated to as
+// mapper.auto.selected_<delegate> counters — the observable output of the
+// selection policy.
+func TestMapperAutoMetrics(t *testing.T) {
+	auto, err := mapping.ByName("auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernels.ByName("nn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := RunMESA(k, accel.M128(), 1, MESAOptions{Mapper: auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Qualified {
+		t.Fatal("nn did not qualify")
+	}
+	reg := obs.NewRegistry()
+	run.Report.AddMetrics(reg)
+	var section *obs.Section
+	for _, s := range reg.Report() {
+		if s.Name == "mapper.auto" {
+			sec := s
+			section = &sec
+		}
+	}
+	if section == nil {
+		t.Fatal("no mapper.auto metric section")
+	}
+	var nodes, selected float64
+	for _, m := range section.Metrics {
+		if m.Name == "nodes" {
+			nodes = m.Value
+		}
+		if strings.HasPrefix(m.Name, "selected_") {
+			selected += m.Value
+		}
+	}
+	if nodes == 0 {
+		t.Error("mapper.auto nodes metric is zero")
+	}
+	if selected == 0 {
+		t.Error("mapper.auto reports no selected_<delegate> counter")
 	}
 }

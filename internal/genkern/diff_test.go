@@ -2,9 +2,46 @@ package genkern
 
 import (
 	"testing"
+
+	"mesa/internal/mapping"
 )
 
 const diffMaxSteps = 2_000_000
+
+// TestEngineConfigsCoverRegistry is the registry-exhaustiveness gate for
+// the differential harness, two-directional: every registered mapping
+// strategy must appear with both backend shapes (a strategy registered
+// without fuzz coverage fails), and no config may name an unregistered
+// strategy.
+func TestEngineConfigsCoverRegistry(t *testing.T) {
+	registered := map[string]bool{}
+	for _, name := range mapping.Names() {
+		registered[name] = true
+	}
+	spatial := map[string]bool{}
+	shared := map[string]bool{}
+	for _, ec := range AllEngineConfigs() {
+		if !registered[ec.Strategy] {
+			t.Errorf("engine config %q names unregistered strategy %q", ec.Name, ec.Strategy)
+		}
+		set := shared
+		if ec.Spatial {
+			set = spatial
+		}
+		if set[ec.Strategy] {
+			t.Errorf("duplicate engine config %q", ec.Name)
+		}
+		set[ec.Strategy] = true
+	}
+	for name := range registered {
+		if !spatial[name] {
+			t.Errorf("strategy %q has no spatial engine config", name)
+		}
+		if !shared[name] {
+			t.Errorf("strategy %q has no time-shared engine config", name)
+		}
+	}
+}
 
 // TestDifferentialAllEngines is the promoted differential test: seeded
 // programs through the interpreter, the CPU timing model, and the controller

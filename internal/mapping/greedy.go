@@ -67,35 +67,8 @@ func (m *Mapper) Map(l *LDFG, be *accel.Config) (*SDFG, *MapStats, error) {
 		share = 1
 	}
 	g := l.Graph
-	if cap := share * be.MaxInstructions(); g.Len() > cap {
-		return nil, nil, fmt.Errorf("mapping: region of %d instructions exceeds backend capacity %d", g.Len(), cap)
-	}
-	if n := len(l.MemNodes()); n > share*be.LSUEntries() {
-		return nil, nil, fmt.Errorf("mapping: region needs %d load/store entries, backend has %d", n, share*be.LSUEntries())
-	}
-	if n := len(l.ComputeNodes()); n > share*be.NumPEs() {
-		return nil, nil, fmt.Errorf("mapping: region needs %d PEs, backend has %d", n, share*be.NumPEs())
-	}
-	// F_op capacity: FP instructions can only occupy FP-capable PEs; an
-	// overflow is a structural routing failure (§4.1: a loop passing C1–C3
-	// can still fail during mapping).
-	fpPEs := 0
-	for r := 0; r < be.Rows; r++ {
-		for c := 0; c < be.Cols; c++ {
-			if be.HasFP(noc.Coord{Row: r, Col: c}) {
-				fpPEs++
-			}
-		}
-	}
-	fpNodes := 0
-	for i := range g.Nodes {
-		n := &g.Nodes[i]
-		if !n.Fwd && !n.Inst.IsMem() && n.Inst.Op.IsFP() {
-			fpNodes++
-		}
-	}
-	if fpNodes > share*fpPEs {
-		return nil, nil, fmt.Errorf("mapping: region needs %d FP PEs, backend has %d", fpNodes, share*fpPEs)
+	if err := validateCapacity(l, be, share); err != nil {
+		return nil, nil, err
 	}
 
 	s := newSDFG(l, be, share)
@@ -185,6 +158,44 @@ func (m *Mapper) Map(l *LDFG, be *accel.Config) (*SDFG, *MapStats, error) {
 		}
 	}
 	return s, stats, nil
+}
+
+// validateCapacity checks the region against the backend's structural
+// capacity under the given time-share factor: instruction count, load/store
+// entries, PE count, and F_op (FP instructions can only occupy FP-capable
+// PEs; an overflow is a structural routing failure — §4.1: a loop passing
+// C1–C3 can still fail during mapping). Shared by every mapping strategy so
+// a region rejected by one is rejected identically by all.
+func validateCapacity(l *LDFG, be *accel.Config, share int) error {
+	g := l.Graph
+	if cap := share * be.MaxInstructions(); g.Len() > cap {
+		return fmt.Errorf("mapping: region of %d instructions exceeds backend capacity %d", g.Len(), cap)
+	}
+	if n := len(l.MemNodes()); n > share*be.LSUEntries() {
+		return fmt.Errorf("mapping: region needs %d load/store entries, backend has %d", n, share*be.LSUEntries())
+	}
+	if n := len(l.ComputeNodes()); n > share*be.NumPEs() {
+		return fmt.Errorf("mapping: region needs %d PEs, backend has %d", n, share*be.NumPEs())
+	}
+	fpPEs := 0
+	for r := 0; r < be.Rows; r++ {
+		for c := 0; c < be.Cols; c++ {
+			if be.HasFP(noc.Coord{Row: r, Col: c}) {
+				fpPEs++
+			}
+		}
+	}
+	fpNodes := 0
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if !n.Fwd && !n.Inst.IsMem() && n.Inst.Op.IsFP() {
+			fpNodes++
+		}
+	}
+	if fpNodes > share*fpPEs {
+		return fmt.Errorf("mapping: region needs %d FP PEs, backend has %d", fpNodes, share*fpPEs)
+	}
+	return nil
 }
 
 // latencyAt computes the expected completion time of node n if placed at c:

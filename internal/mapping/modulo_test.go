@@ -1,0 +1,182 @@
+package mapping_test
+
+import (
+	"math"
+	"testing"
+
+	"mesa/internal/accel"
+	"mesa/internal/dfg"
+	"mesa/internal/kernels"
+	"mesa/internal/mapping"
+	"mesa/internal/sched"
+)
+
+// TestModuloAchievesLowerBound is the acceptance criterion for the modulo
+// strategy: on recurrence-bound kernels (where max(ResMII, RecMII) is the
+// recurrence), the schedule's PredictedII must equal that lower bound
+// exactly — the placement adds no NoC or port pressure beyond it. At
+// least one kernel in the suite must be recurrence-bound, or the check
+// is vacuous and the test fails.
+func TestModuloAchievesLowerBound(t *testing.T) {
+	be := accel.M128()
+	strat, err := mapping.ByName("modulo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recurrenceBound := 0
+	achieved := 0
+	for _, k := range kernels.All() {
+		l := hotLoop(t, k)
+		rec := sched.RecMII(l.Graph, func(n *dfg.Node) float64 { return n.OpLat }, true)
+		memII := float64(len(l.MemNodes())) / float64(be.MemPorts)
+		if rec < memII {
+			continue // memory-port bound: the recurrence is not the floor
+		}
+		recurrenceBound++
+		s, st, err := strat.Map(l, be, mapping.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if got := s.PredictedII(1); math.Abs(got-rec) < 1e-9 {
+			achieved++
+		} else {
+			t.Logf("%s: PredictedII %.3f vs recurrence bound %.3f (scheduled II %d)",
+				k.Name, got, rec, st.ScheduledII)
+		}
+	}
+	if recurrenceBound == 0 {
+		t.Fatal("no recurrence-bound kernel in the suite; the bound check is vacuous")
+	}
+	if achieved == 0 {
+		t.Errorf("modulo met its lower bound on 0 of %d recurrence-bound kernels", recurrenceBound)
+	}
+	t.Logf("modulo met max(ResMII,RecMII) on %d/%d recurrence-bound kernels", achieved, recurrenceBound)
+}
+
+// TestModuloNeverWorseThanGreedyPredicted pins the II search's value: the
+// modulo schedule's PredictedII never exceeds greedy's on any kernel (it
+// optimizes exactly that bound, and the bounds below it are placement-
+// independent).
+func TestModuloNeverWorseThanGreedyPredicted(t *testing.T) {
+	be := accel.M128()
+	greedy, _ := mapping.ByName("greedy")
+	modulo, _ := mapping.ByName("modulo")
+	for _, k := range kernels.All() {
+		l := hotLoop(t, k)
+		g, _, gerr := greedy.Map(l, be, mapping.DefaultOptions())
+		m, _, merr := modulo.Map(l, be, mapping.DefaultOptions())
+		if (gerr == nil) != (merr == nil) {
+			t.Fatalf("%s: greedy err %v, modulo err %v", k.Name, gerr, merr)
+		}
+		if gerr != nil {
+			continue
+		}
+		if mII, gII := m.PredictedII(1), g.PredictedII(1); mII > gII+1e-9 {
+			t.Errorf("%s: modulo PredictedII %.3f worse than greedy %.3f", k.Name, mII, gII)
+		}
+	}
+}
+
+// TestModuloStatsShape pins the schedule bookkeeping: a converged search
+// reports the II it accepted and how many intervals it tried.
+func TestModuloStatsShape(t *testing.T) {
+	be := accel.M128()
+	strat, _ := mapping.ByName("modulo")
+	k, err := kernels.ByName("nn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := hotLoop(t, k)
+	s, st, err := strat.Map(l, be, mapping.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Strategy != "modulo" {
+		t.Errorf("Strategy = %q", st.Strategy)
+	}
+	if st.ScheduledII < 1 {
+		t.Errorf("ScheduledII = %d, want >= 1", st.ScheduledII)
+	}
+	if st.RefineSteps < 1 {
+		t.Errorf("RefineSteps = %d, want >= 1 (II attempts)", st.RefineSteps)
+	}
+	if st.PEPlacements+st.LSUPlacements+st.BusFallbacks != st.Nodes {
+		t.Errorf("placements %d+%d+%d do not cover %d nodes",
+			st.PEPlacements, st.LSUPlacements, st.BusFallbacks, st.Nodes)
+	}
+	if s.PredictedII(1) < 1 {
+		t.Errorf("PredictedII = %f", s.PredictedII(1))
+	}
+}
+
+// TestAutoDelegation pins the selector policy: nil attribution and
+// dependence/timeshare bounds stay on greedy, noc escalates to congestion,
+// memports to modulo, and Options.Sticky overrides the selector.
+func TestAutoDelegation(t *testing.T) {
+	be := accel.M128()
+	auto, err := mapping.ByName("auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernels.ByName("nn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := hotLoop(t, k)
+
+	attribFor := func(bound string) *accel.Attribution {
+		a := syntheticAttribution()
+		a.Chosen = bound
+		return a
+	}
+	cases := []struct {
+		name     string
+		attrib   *accel.Attribution
+		sticky   string
+		delegate string
+	}{
+		{name: "nil attribution", delegate: "greedy"},
+		{name: "dependence", attrib: attribFor("dependence"), delegate: "greedy"},
+		{name: "timeshare", attrib: attribFor("timeshare"), delegate: "greedy"},
+		{name: "noc", attrib: attribFor("noc"), delegate: "congestion"},
+		{name: "memports", attrib: attribFor("memports"), delegate: "modulo"},
+		{name: "sticky wins", attrib: attribFor("noc"), sticky: "modulo", delegate: "modulo"},
+	}
+	for _, c := range cases {
+		o := mapping.DefaultOptions()
+		o.Attrib = c.attrib
+		o.Sticky = c.sticky
+		_, st, err := auto.Map(l, be, o)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if st.Strategy != "auto" {
+			t.Errorf("%s: Strategy = %q, want auto", c.name, st.Strategy)
+		}
+		if st.Delegate != c.delegate {
+			t.Errorf("%s: Delegate = %q, want %q", c.name, st.Delegate, c.delegate)
+		}
+	}
+}
+
+// TestAutoWithoutFeedbackMatchesGreedy pins auto's cold-start cost: with no
+// attribution, the placement is byte-identical to the greedy pass.
+func TestAutoWithoutFeedbackMatchesGreedy(t *testing.T) {
+	be := accel.M128()
+	greedy, _ := mapping.ByName("greedy")
+	auto, _ := mapping.ByName("auto")
+	for _, k := range kernels.All() {
+		l := hotLoop(t, k)
+		g, _, gerr := greedy.Map(l, be, mapping.DefaultOptions())
+		a, _, aerr := auto.Map(l, be, mapping.DefaultOptions())
+		if (gerr == nil) != (aerr == nil) {
+			t.Fatalf("%s: greedy err %v, auto err %v", k.Name, gerr, aerr)
+		}
+		if gerr != nil {
+			continue
+		}
+		if g.String() != a.String() {
+			t.Errorf("%s: auto without feedback diverged from greedy", k.Name)
+		}
+	}
+}

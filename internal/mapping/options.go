@@ -41,9 +41,18 @@ type Options struct {
 
 	// Attrib is measured bottleneck feedback from a previous run of this
 	// region (nil on the first mapping). The congestion strategy biases
-	// placement away from the rows, units, and ports it names; strategies
-	// that ignore it must behave identically with or without it.
+	// placement away from the rows, units, and ports it names; the auto
+	// meta-strategy selects its delegate from it; strategies that ignore it
+	// must behave identically with or without it.
 	Attrib *accel.Attribution
+
+	// Sticky pins the auto meta-strategy to a previously chosen delegate
+	// for this region (empty on the first mapping). Like Attrib it is
+	// per-call mechanism state, not a placement-shaping knob: the
+	// controller threads it between optimization rounds so a region's
+	// escalation decision does not flip-flop, and it is deliberately
+	// excluded from the memo-cache fingerprint.
+	Sticky string
 }
 
 // DefaultOptions matches the paper's hardware implementation.
@@ -70,6 +79,16 @@ type MapStats struct {
 
 	// RefineSteps/RefineAccepted count refinement moves proposed and
 	// accepted by iterative strategies (zero for single-pass strategies).
+	// The modulo strategy reports II search attempts in RefineSteps and
+	// whether the search converged on its lower bound in RefineAccepted.
 	RefineSteps    int
 	RefineAccepted int
+
+	// ScheduledII is the initiation interval the modulo strategy's accepted
+	// schedule targeted (zero for strategies that do not schedule).
+	ScheduledII int
+
+	// Delegate is the registry name of the strategy the auto meta-strategy
+	// selected (empty for every other strategy).
+	Delegate string
 }

@@ -6,8 +6,8 @@ import (
 
 	"mesa/internal/accel"
 	"mesa/internal/dfg"
-	"mesa/internal/isa"
 	"mesa/internal/noc"
+	"mesa/internal/sched"
 )
 
 // BusCoord is the pseudo-position of instructions that failed spatial
@@ -20,6 +20,10 @@ var unplacedCoord = noc.Coord{Row: -1 << 20, Col: -1 << 20}
 // CtrlLat is the latency of enable-signal delivery over the accelerator's
 // control network (branch predication).
 const CtrlLat = 1
+
+// nodeOpLat is the latency model the mapper charges throughout: each node
+// costs its estimated operation latency.
+func nodeOpLat(n *dfg.Node) float64 { return n.OpLat }
 
 // LiveInLat is the latency for a live-in register value to reach a PE's
 // input buffer at iteration start (values are written during configuration
@@ -162,26 +166,7 @@ func (s *SDFG) PredictedII(tiles int) float64 {
 	g := s.LDFG.Graph
 	be := s.Backend
 
-	liveIn := make(map[isa.Reg]bool)
-	for i := range g.Nodes {
-		n := &g.Nodes[i]
-		for k := 0; k < 3; k++ {
-			if n.Src[k] == dfg.None && n.LiveIn[k] != isa.RegNone {
-				liveIn[n.LiveIn[k]] = true
-			}
-		}
-		if n.PredLiveIn != isa.RegNone {
-			liveIn[n.PredLiveIn] = true
-		}
-	}
-	rec := 1.0
-	for r, id := range g.LiveOut {
-		if liveIn[r] {
-			if l := g.Node(id).OpLat + 1; l > rec {
-				rec = l
-			}
-		}
-	}
+	rec := sched.RecMII(g, nodeOpLat, true)
 	ii := rec / float64(tiles)
 
 	if m := float64(len(s.LDFG.MemNodes())) / float64(be.MemPorts); m > ii {

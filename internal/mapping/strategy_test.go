@@ -169,7 +169,7 @@ func TestByNameUnknown(t *testing.T) {
 // TestNamesSortedAndComplete pins the registry contents.
 func TestNamesSortedAndComplete(t *testing.T) {
 	names := mapping.Names()
-	want := []string{"congestion", "greedy", "greedy+anneal"}
+	want := []string{"auto", "congestion", "greedy", "greedy+anneal", "modulo"}
 	if len(names) != len(want) {
 		t.Fatalf("Names() = %v, want %v", names, want)
 	}

@@ -1,0 +1,185 @@
+// Package sched holds the modulo-scheduling machinery shared by the
+// OpenCGRA comparison baseline (internal/baseline/opencgra) and the
+// mapping package's `modulo` strategy: the classic ResMII/RecMII lower
+// bounds on the initiation interval, and the modulo reservation
+// structures (a boolean table over unit × slot, and a counted per-slot
+// budget for shared interfaces such as memory ports or NoC lanes).
+//
+// The bounds are deliberately parametric in the latency model: the
+// baseline charges its own per-class latencies (loads at LoadLat),
+// while the MESA mapper charges each node's OpLat. Both call the same
+// functions so the two flows cannot drift apart.
+package sched
+
+import (
+	"mesa/internal/dfg"
+	"mesa/internal/isa"
+)
+
+// Latency gives a node's operation latency in cycles under the caller's
+// cost model.
+type Latency func(n *dfg.Node) float64
+
+// IsMemOp reports whether a node occupies a memory interface when it
+// issues: loads and stores that were not eliminated by store-to-load
+// forwarding.
+func IsMemOp(n *dfg.Node) bool {
+	return n.Inst.IsMem() && !n.Fwd
+}
+
+// MemOps counts the nodes of g that occupy a memory interface.
+func MemOps(g *dfg.Graph) int {
+	m := 0
+	for i := range g.Nodes {
+		if IsMemOp(&g.Nodes[i]) {
+			m++
+		}
+	}
+	return m
+}
+
+// ResMII is the resource-constrained lower bound on the initiation
+// interval: every operation needs a unit slot each iteration, and every
+// memory operation additionally needs one of the shared memory
+// interfaces. Both counts round up; the result is at least 1.
+func ResMII(ops, units, memOps, memUnits int) int {
+	if units < 1 {
+		units = 1
+	}
+	if memUnits < 1 {
+		memUnits = 1
+	}
+	ii := (ops + units - 1) / units
+	if m := (memOps + memUnits - 1) / memUnits; m > ii {
+		ii = m
+	}
+	if ii < 1 {
+		ii = 1
+	}
+	return ii
+}
+
+// RecMII is the recurrence-constrained lower bound on the initiation
+// interval: a live-out register consumed as a live-in closes an
+// inter-iteration dependence cycle through its producing node, so
+// iteration i+1 cannot issue that chain before the producer of
+// iteration i finishes (latency + 1 for the register turnaround).
+//
+// includePred additionally treats predicate live-ins (PredLiveIn) as
+// consumers, matching the MESA engine's predication semantics; the
+// OpenCGRA baseline predates predicated offload and charges only data
+// operands.
+func RecMII(g *dfg.Graph, lat Latency, includePred bool) float64 {
+	liveIn := make(map[isa.Reg]bool)
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		for k := 0; k < 3; k++ {
+			if n.Src[k] == dfg.None && n.LiveIn[k] != isa.RegNone {
+				liveIn[n.LiveIn[k]] = true
+			}
+		}
+		if includePred && n.PredLiveIn != isa.RegNone {
+			liveIn[n.PredLiveIn] = true
+		}
+	}
+	rec := 1.0
+	for r, id := range g.LiveOut {
+		if liveIn[r] {
+			if l := lat(g.Node(id)) + 1; l > rec {
+				rec = l
+			}
+		}
+	}
+	return rec
+}
+
+// MinII combines the two lower bounds into the smallest candidate
+// initiation interval for the II search.
+func MinII(resMII int, recMII float64) int {
+	ii := resMII
+	if r := int(recMII); r > ii {
+		ii = r
+	}
+	if ii < 1 {
+		ii = 1
+	}
+	return ii
+}
+
+// Table is a modulo reservation table: units × II slots of boolean
+// occupancy. Reserving (unit, t) claims the unit at every time congruent
+// to t modulo II — the steady-state pipeline reuses the slot each
+// iteration.
+type Table struct {
+	ii   int
+	busy []bool
+}
+
+// NewTable returns an empty reservation table for the given unit count
+// and initiation interval.
+func NewTable(units, ii int) *Table {
+	if ii < 1 {
+		ii = 1
+	}
+	return &Table{ii: ii, busy: make([]bool, units*ii)}
+}
+
+// II returns the table's initiation interval.
+func (t *Table) II() int { return t.ii }
+
+// Slot maps an absolute issue time to its modulo slot.
+func (t *Table) Slot(time int) int {
+	return ((time % t.ii) + t.ii) % t.ii
+}
+
+// Busy reports whether the unit is reserved at the given slot.
+func (t *Table) Busy(unit, slot int) bool {
+	return t.busy[unit*t.ii+slot]
+}
+
+// Reserve claims the unit at the given slot.
+func (t *Table) Reserve(unit, slot int) {
+	t.busy[unit*t.ii+slot] = true
+}
+
+// Release frees the unit at the given slot.
+func (t *Table) Release(unit, slot int) {
+	t.busy[unit*t.ii+slot] = false
+}
+
+// Budget is a counted per-slot resource shared across all units — the
+// array's memory interfaces, or a row's NoC lanes: at most cap claims
+// per modulo slot.
+type Budget struct {
+	cap  int
+	used []int
+}
+
+// NewBudget returns an empty budget of cap claims per slot over an II
+// of the given length.
+func NewBudget(ii, cap int) *Budget {
+	if ii < 1 {
+		ii = 1
+	}
+	return &Budget{cap: cap, used: make([]int, ii)}
+}
+
+// Slot maps an absolute issue time to its modulo slot.
+func (b *Budget) Slot(time int) int {
+	ii := len(b.used)
+	return ((time % ii) + ii) % ii
+}
+
+// Free reports whether the slot has spare capacity.
+func (b *Budget) Free(slot int) bool {
+	return b.used[slot] < b.cap
+}
+
+// Used returns the number of claims already taken at the slot.
+func (b *Budget) Used(slot int) int { return b.used[slot] }
+
+// Take claims one unit of capacity at the slot.
+func (b *Budget) Take(slot int) { b.used[slot]++ }
+
+// Release returns one unit of capacity at the slot.
+func (b *Budget) Release(slot int) { b.used[slot]-- }

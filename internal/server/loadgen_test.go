@@ -7,10 +7,12 @@ import (
 	"testing"
 
 	"mesa/internal/experiments"
+	"mesa/internal/kernels"
+	"mesa/internal/mapping"
 )
 
 // TestLoadGenByteIdentity is the acceptance gate for mesad: the full 17
-// kernels × 3 strategies matrix, issued by concurrent clients against the
+// kernels × every-registered-strategy matrix, issued by concurrent clients against the
 // HTTP server, must produce responses byte-identical to the direct library
 // call — under a cold cache, a warm cache, and a cache bounded to 4 entries
 // (where nearly every lookup evicts). Identical bytes in all three regimes
@@ -18,7 +20,7 @@ import (
 // coalescing, LRU eviction, nor cache-state transitions leak into bodies.
 func TestLoadGenByteIdentity(t *testing.T) {
 	if testing.Short() {
-		t.Skip("full 17×3 sweep in -short mode")
+		t.Skip("full kernel × strategy sweep in -short mode")
 	}
 	experiments.ResetSimMemo()
 	defer experiments.ResetSimMemo()
@@ -36,14 +38,17 @@ func TestLoadGenByteIdentity(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
+	// The load generator sweeps every kernel under every registered
+	// strategy, so the expected request count follows both registries.
+	wantRequests := len(kernels.Names()) * len(mapping.Names())
 	run := func(label string) {
 		t.Helper()
 		stats, err := LoadGen(ts.Client(), ts.URL, srv, LoadOptions{Clients: 8})
 		if err != nil {
 			t.Fatalf("%s: %v", label, err)
 		}
-		if stats.Requests != 17*3 {
-			t.Fatalf("%s: issued %d requests, want %d", label, stats.Requests, 17*3)
+		if stats.Requests != wantRequests {
+			t.Fatalf("%s: issued %d requests, want %d", label, stats.Requests, wantRequests)
 		}
 		if stats.Mismatches != 0 {
 			t.Fatalf("%s: %d responses differ from the direct library call", label, stats.Mismatches)
@@ -53,7 +58,7 @@ func TestLoadGenByteIdentity(t *testing.T) {
 	run("cold cache")
 	run("warm cache")
 
-	// Bound the cache far below the 51-entry working set: most lookups now
+	// Bound the cache far below the working set: most lookups now
 	// miss, evict, and recompute — and must still produce identical bytes.
 	prevCap := experiments.SetSimMemoCapacity(4)
 	defer experiments.SetSimMemoCapacity(prevCap)
